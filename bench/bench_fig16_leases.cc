@@ -1,0 +1,110 @@
+// Figure 16: false-positive lease expiries for four lease-manager
+// implementations under load (section 6.5).
+//
+// Paper: all threads on all machines flood the CM with RDMA reads for
+// 10 minutes; recovery is disabled and lease expiry events are counted.
+// RPC leases expire constantly even at 100 ms; unreliable datagrams help
+// but still expire from CPU contention; a dedicated thread makes 100 ms
+// safe; only the interrupt-driven high-priority manager sustains 5 ms
+// leases with zero false positives (1 ms is below the timer resolution).
+#include "bench/bench_util.h"
+
+namespace farm {
+namespace {
+
+constexpr SimDuration kExperiment = 1 * kSecond;  // scaled from 10 minutes
+
+uint64_t RunOne(LeaseImpl impl, SimDuration lease, uint64_t seed) {
+  ClusterOptions copts = bench::DefaultClusterOptions(5, seed);
+  copts.node.lease.impl = impl;
+  copts.node.lease.duration = lease;
+  copts.node.lease.trigger_recovery = false;  // count, don't recover
+  auto cluster = std::make_unique<Cluster>(copts);
+  cluster->Start();
+
+  // Background OS activity that occasionally preempts normal-priority
+  // threads (what the paper's dedicated-but-not-priority thread suffers).
+  for (int m = 0; m < cluster->num_machines(); m++) {
+    cluster->node(static_cast<MachineId>(m))
+        .lease_manager()
+        .SetPreemptionNoise(/*events_per_sec=*/15, /*burst=*/8 * kMillisecond);
+  }
+
+  // The stress load: members flood the CM's shared message path slightly
+  // above its service capacity, so queues (and therefore queueing delay)
+  // grow -- exactly what strands RPC leases behind data traffic and starves
+  // lease processing on shared worker threads.
+  constexpr uint16_t kFloodService = 230;
+  cluster->fabric().RegisterRpcService(
+      0, kFloodService, 0, copts.node.worker_threads - 1,
+      [](MachineId, std::vector<uint8_t>, Fabric::ReplyFn reply) { reply({1}); });
+  auto stop = std::make_shared<bool>(false);
+  auto flood = [](Cluster* c, MachineId m, int thread,
+                  std::shared_ptr<bool> s) -> Task<void> {
+    std::vector<uint8_t> req(16, 0);
+    while (!*s) {
+      // Open loop: a fixed offered rate independent of completions.
+      (void)c->fabric().Call(m, 0, kFloodService, req, &c->node(m).worker(thread),
+                             10 * kSecond);
+      co_await SleepFor(c->sim(), 20 * kMicrosecond);
+    }
+  };
+  int flooders = 0;
+  for (int m = 1; m < cluster->num_machines(); m++) {
+    for (int t = 0; t < copts.node.worker_threads; t++) {
+      for (int k = 0; k < 3; k++) {
+        Spawn(flood(cluster.get(), static_cast<MachineId>(m), t, stop));
+        flooders++;
+      }
+    }
+  }
+  (void)flooders;
+  cluster->RunFor(kExperiment);
+  *stop = true;
+
+  uint64_t expiries = 0;
+  for (int m = 0; m < cluster->num_machines(); m++) {
+    expiries += cluster->node(static_cast<MachineId>(m)).lease_manager().expiry_events();
+  }
+  return expiries;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 16: false-positive lease expiries vs lease duration",
+      "only UD+thread+priority sustains 5ms leases with no false positives (paper)",
+      "5 machines flooding the CM with RDMA reads for 1s (vs 10min)");
+
+  const LeaseImpl kImpls[] = {LeaseImpl::kRpc, LeaseImpl::kUdShared,
+                              LeaseImpl::kUdDedicated, LeaseImpl::kUdDedicatedHighPri};
+  const char* kNames[] = {"RPC", "UD", "UD+thread", "UD+thread+pri"};
+  const SimDuration kLeases[] = {kMillisecond,      2 * kMillisecond, 5 * kMillisecond,
+                                 10 * kMillisecond, 100 * kMillisecond};
+
+  std::printf("%16s", "lease");
+  for (const char* n : kNames) {
+    std::printf(" %14s", n);
+  }
+  std::printf("\n");
+  for (SimDuration lease : kLeases) {
+    std::printf("%14.0fms", static_cast<double>(lease) / 1e6);
+    for (size_t i = 0; i < 4; i++) {
+      uint64_t e = RunOne(kImpls[i], lease, 100 + i);
+      std::printf(" %14llu", static_cast<unsigned long long>(e));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nShape check: expiries fall from left (RPC: lease messages stuck behind\n"
+              "data traffic, failing even at 100 ms) to right (interrupt-driven, high\n"
+              "priority, clean at 5 ms). One divergence: the paper still sees 1-2 ms\n"
+              "expiries for the best variant because its loaded network RTT reaches\n"
+              "1 ms; our simulated RTT stays in microseconds, so 1 ms leases hold.\n");
+}
+
+}  // namespace
+}  // namespace farm
+
+int main() {
+  farm::Run();
+  return 0;
+}

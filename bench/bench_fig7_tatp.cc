@@ -1,0 +1,67 @@
+// Figure 7: TATP throughput vs latency.
+//
+// Paper: 90 machines, 9.2 B subscribers; peak 140 M tx/s with 58 us median
+// latency (645 us 99th); ~2 M tx/s at 9 us median on the left of the curve.
+// Expected shape here: latency roughly flat at low load, a knee as the
+// cluster saturates, then a steep latency climb for little extra throughput.
+#include "bench/bench_util.h"
+#include "src/workload/tatp.h"
+
+namespace farm {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 7: TATP throughput-latency",
+      "140M tx/s peak @ 58us median / 645us p99; 2M tx/s @ 9us median (paper)",
+      "8 machines x 2 worker threads, 20k subscribers, 60ms windows");
+
+  ClusterOptions copts = bench::DefaultClusterOptions(8);
+  auto cluster = std::make_unique<Cluster>(copts);
+  cluster->Start();
+  cluster->RunFor(5 * kMillisecond);
+
+  TatpOptions topts;
+  topts.subscribers = 20000;
+  auto db = bench::AwaitTask(
+      *cluster,
+      [](Cluster* c, TatpOptions o) -> Task<StatusOr<TatpDb>> {
+        co_return co_await TatpDb::Create(*c, o);
+      }(cluster.get(), topts),
+      600 * kSecond);
+  FARM_CHECK(db.has_value() && db->ok())
+      << "tatp load failed: " << (db.has_value() ? db->status().ToString() : "timeout");
+  db->value().RegisterServices(*cluster);
+
+  std::printf("%12s %14s %12s %12s %12s\n", "concurrency", "tx/s", "ops/us", "median_us",
+              "p99_us");
+  struct Point {
+    int threads;
+    int concurrency;
+  };
+  // Load sweep as in the paper: first more threads, then more concurrency
+  // per thread.
+  const Point kPoints[] = {{1, 1}, {2, 1}, {2, 2}, {2, 4}, {2, 8}, {2, 16}};
+  for (const Point& p : kPoints) {
+    DriverOptions dopts;
+    dopts.threads_per_machine = p.threads;
+    dopts.concurrency_per_thread = p.concurrency;
+    dopts.warmup = 10 * kMillisecond;
+    dopts.measure = 60 * kMillisecond;
+    DriverResult r = RunClosedLoop(*cluster, db->value().MakeWorkload(), dopts);
+    std::printf("%7dx%-4d %14.0f %12.3f %12.1f %12.1f\n", p.threads, p.concurrency,
+                r.CommittedPerSecond(), r.OpsPerMicrosecond(),
+                static_cast<double>(r.latency.Percentile(50)) / 1e3,
+                static_cast<double>(r.latency.Percentile(99)) / 1e3);
+  }
+  std::printf("\nShape check: throughput grows with offered load, median latency\n"
+              "stays low until the knee, then the p99 tail climbs steeply.\n");
+}
+
+}  // namespace
+}  // namespace farm
+
+int main() {
+  farm::Run();
+  return 0;
+}

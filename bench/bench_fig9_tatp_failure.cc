@@ -1,0 +1,67 @@
+// Figure 9: TATP performance timeline with a single machine failure.
+//
+// Paper (a): throughput drops sharply at the kill and is back to peak in
+// <40-50 ms; regions become active in ~39 ms; annotations mark suspect /
+// probe / zookeeper / config-commit / all-active / data-rec-start.
+// Paper (b): paced data recovery re-replicates the failed machine's regions
+// over tens of seconds without denting foreground throughput.
+#include "bench/bench_util.h"
+#include "src/workload/tatp.h"
+
+namespace farm {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 9: TATP timeline with one machine failure",
+      "back to peak <50ms; paced data recovery with no throughput dip (paper)",
+      "9 machines, 10ms leases, 1MB regions (vs 2GB), kill at t=60ms");
+
+  ClusterOptions copts = bench::DefaultClusterOptions(9, 5);
+  auto cluster = std::make_unique<Cluster>(copts);
+  cluster->Start();
+  cluster->RunFor(5 * kMillisecond);
+
+  TatpOptions topts;
+  topts.subscribers = 12000;
+  auto db = bench::AwaitTask(
+      *cluster,
+      [](Cluster* c, TatpOptions o) -> Task<StatusOr<TatpDb>> {
+        co_return co_await TatpDb::Create(*c, o);
+      }(cluster.get(), topts),
+      600 * kSecond);
+  FARM_CHECK(db.has_value() && db->ok());
+  db->value().RegisterServices(*cluster);
+
+  DriverOptions dopts;
+  dopts.threads_per_machine = 2;
+  dopts.concurrency_per_thread = 4;
+  dopts.warmup = 10 * kMillisecond;
+  // Victim: a non-CM machine (the CM case is Figure 11).
+  MachineId victim = 5;
+  auto r = bench::RunFailureTimeline(*cluster, db->value().MakeWorkload(), dopts, {victim},
+                                     50 * kMillisecond, 800 * kMillisecond);
+  std::printf("[Figure 9a: time to full throughput]\n");
+  bench::PrintTimeline(r);
+
+  std::printf("\n[Figure 9b: time to full data recovery]\n");
+  std::printf("regions re-replicated over time (paced fetches; dashed line in paper):\n");
+  SimTime t0 = r.kill_time;
+  size_t i = 0;
+  for (SimTime t : cluster->rereplication_times()) {
+    if (++i % 4 == 0 || t == cluster->rereplication_times().back()) {
+      std::printf("  +%7.1fms  %zu regions\n", static_cast<double>(t - t0) / 1e6, i);
+    }
+  }
+  std::printf("\nShape check: throughput recovers within tens of ms (lock recovery),\n"
+              "while region re-replication trails far behind without hurting the\n"
+              "foreground (the paper's 17s-per-region pacing scales to our region size).\n");
+}
+
+}  // namespace
+}  // namespace farm
+
+int main() {
+  farm::Run();
+  return 0;
+}

@@ -1,0 +1,195 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints the paper artifact it regenerates, the scaled-down
+// parameters it runs with, and the measured series. Absolute numbers are
+// not expected to match the paper's 90-machine InfiniBand testbed; the
+// shapes (who wins, by what factor, where the knees/crossovers are) should.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/core/cluster.h"
+#include "src/workload/driver.h"
+
+namespace farm {
+namespace bench {
+
+inline ClusterOptions DefaultClusterOptions(int machines, uint64_t seed = 1) {
+  ClusterOptions opts;
+  opts.machines = machines;
+  opts.zk_replicas = 3;
+  opts.seed = seed;
+  opts.node.worker_threads = 2;
+  opts.node.region_size = 1 << 20;
+  opts.node.block_size = 64 << 10;
+  opts.node.lease.duration = 10 * kMillisecond;
+  return opts;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref,
+                        const std::string& scaling) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("  reproduces: %s\n", paper_ref.c_str());
+  std::printf("  scaling:    %s\n", scaling.c_str());
+  std::printf("==============================================================\n");
+}
+
+// Steps until pred() or timeout; returns whether pred held.
+template <typename Pred>
+bool StepUntil(Cluster& cluster, Pred pred, SimDuration timeout) {
+  SimTime deadline = cluster.sim().Now() + timeout;
+  while (!pred() && cluster.sim().Now() < deadline) {
+    if (!cluster.sim().Step()) {
+      break;
+    }
+  }
+  return pred();
+}
+
+// Runs a coroutine to completion against the cluster's simulator.
+template <typename T>
+std::optional<T> AwaitTask(Cluster& cluster, Task<T> task, SimDuration timeout = 10 * kSecond) {
+  auto result = std::make_shared<std::optional<T>>();
+  auto wrapper = [](Task<T> inner, std::shared_ptr<std::optional<T>> out) -> Task<void> {
+    out->emplace(co_await std::move(inner));
+  };
+  Spawn(wrapper(std::move(task), result));
+  StepUntil(cluster, [&]() { return result->has_value(); }, timeout);
+  return *result;
+}
+
+// Time (relative to `from`) at which per-ms throughput first returns to
+// `fraction` of `baseline_per_ms` and stays there for `sustain_ms` intervals.
+inline SimTime TimeToRecover(const TimeSeries& series, SimTime from, double baseline_per_ms,
+                             double fraction, int sustain_ms = 5) {
+  const auto& buckets = series.intervals();
+  size_t start = static_cast<size_t>(from / series.interval_ns());
+  double target = baseline_per_ms * fraction;
+  for (size_t i = start; i + static_cast<size_t>(sustain_ms) < buckets.size(); i++) {
+    bool sustained = true;
+    for (int j = 0; j < sustain_ms; j++) {
+      if (static_cast<double>(buckets[i + static_cast<size_t>(j)]) < target) {
+        sustained = false;
+        break;
+      }
+    }
+    if (sustained) {
+      SimTime at = i * series.interval_ns();
+      return at > from ? at - from : 0;  // clamp: recovered within the bucket
+    }
+  }
+  return kSimTimeNever;
+}
+
+inline double MsOrDash(SimTime t) {
+  return t == kSimTimeNever ? -1.0 : static_cast<double>(t) / 1e6;
+}
+
+}  // namespace bench
+}  // namespace farm
+
+#endif  // BENCH_BENCH_UTIL_H_
+// NOTE: appended helpers for the failure-timeline benches (figures 9-15).
+#ifndef BENCH_BENCH_UTIL_TIMELINE_
+#define BENCH_BENCH_UTIL_TIMELINE_
+
+namespace farm {
+namespace bench {
+
+struct TimelineResult {
+  SimTime kill_time = 0;
+  double baseline_per_ms = 0;      // committed tx/ms before the failure
+  SimTime suspect = kSimTimeNever;        // relative to kill
+  SimTime probe = kSimTimeNever;
+  SimTime zookeeper = kSimTimeNever;
+  SimTime config_commit = kSimTimeNever;
+  SimTime all_active = kSimTimeNever;
+  SimTime data_rec_start = kSimTimeNever;
+  SimTime recover_80 = kSimTimeNever;     // throughput back to 80% of baseline
+  SimTime recover_peak = kSimTimeNever;   // back to ~95%
+  SimTime data_rec_done = kSimTimeNever;  // last region re-replicated
+  uint64_t regions_rereplicated = 0;
+  uint64_t recovering_txs = 0;
+  std::shared_ptr<DriverResult> series;
+};
+
+// Runs `fn` under load, kills `victims` at kill_after, keeps running for
+// run_after_kill, and extracts the figure-9-style milestones.
+inline TimelineResult RunFailureTimeline(Cluster& cluster, WorkloadFn fn,
+                                         DriverOptions dopts,
+                                         std::vector<MachineId> victims,
+                                         SimDuration kill_after,
+                                         SimDuration run_after_kill) {
+  TimelineResult out;
+  cluster.ClearMilestones();
+  DriverRun run = StartWorkers(cluster, std::move(fn), dopts);
+  cluster.RunFor(dopts.warmup + kill_after);
+  out.kill_time = cluster.sim().Now();
+  for (MachineId v : victims) {
+    cluster.Kill(v);
+  }
+  cluster.RunFor(run_after_kill);
+  StopWorkers(cluster, run);
+  out.series = run.result;
+
+  out.baseline_per_ms = run.result->throughput.AverageRate(
+      run.result->measure_start, out.kill_time - kMillisecond);
+  auto rel = [&](const char* name) {
+    SimTime t = cluster.MilestoneAfter(name, out.kill_time);
+    return t == kSimTimeNever ? kSimTimeNever : t - out.kill_time;
+  };
+  out.suspect = rel("suspect");
+  out.probe = rel("probe");
+  out.zookeeper = rel("zookeeper");
+  out.config_commit = rel("config-commit");
+  out.all_active = rel("all-active");
+  out.data_rec_start = rel("data-rec-start");
+  out.recover_80 =
+      TimeToRecover(run.result->throughput, out.kill_time, out.baseline_per_ms, 0.8);
+  out.recover_peak =
+      TimeToRecover(run.result->throughput, out.kill_time, out.baseline_per_ms, 0.95);
+  out.regions_rereplicated = cluster.regions_rereplicated();
+  if (!cluster.rereplication_times().empty()) {
+    out.data_rec_done = cluster.rereplication_times().back() - out.kill_time;
+  }
+  out.recovering_txs = cluster.TotalStats().recovering_txs_seen;
+  return out;
+}
+
+inline void PrintTimeline(const TimelineResult& r, SimDuration window_before = 20 * kMillisecond,
+                          SimDuration window_after = 120 * kMillisecond) {
+  std::printf("baseline: %.1f tx/ms before the failure\n", r.baseline_per_ms);
+  std::printf("milestones after failure: suspect=%.1fms probe=%.1fms zookeeper=%.1fms\n"
+              "  config-commit=%.1fms all-active=%.1fms data-rec-start=%.1fms\n",
+              MsOrDash(r.suspect), MsOrDash(r.probe), MsOrDash(r.zookeeper),
+              MsOrDash(r.config_commit), MsOrDash(r.all_active), MsOrDash(r.data_rec_start));
+  std::printf("throughput back to 80%% in %.1f ms, to ~peak in %.1f ms\n",
+              MsOrDash(r.recover_80), MsOrDash(r.recover_peak));
+  std::printf("data recovery: %llu regions re-replicated, done at %.1f ms\n",
+              static_cast<unsigned long long>(r.regions_rereplicated),
+              MsOrDash(r.data_rec_done));
+  std::printf("recovering transactions: %llu\n",
+              static_cast<unsigned long long>(r.recovering_txs));
+  std::printf("\nper-ms committed throughput around the failure (t=0 is the kill):\n");
+  const auto& buckets = r.series->throughput.intervals();
+  int64_t kill_ms = static_cast<int64_t>(r.kill_time / kMillisecond);
+  int64_t from = kill_ms - static_cast<int64_t>(window_before / kMillisecond);
+  int64_t to = kill_ms + static_cast<int64_t>(window_after / kMillisecond);
+  for (int64_t ms = std::max<int64_t>(from, 0); ms < to; ms += 4) {
+    uint64_t v = 0;
+    for (int64_t j = ms; j < ms + 4 && j < static_cast<int64_t>(buckets.size()); j++) {
+      v += buckets[static_cast<size_t>(j)];
+    }
+    std::printf("  t=%+5lldms  %6.1f tx/ms\n", static_cast<long long>(ms - kill_ms),
+                static_cast<double>(v) / 4.0);
+  }
+}
+
+}  // namespace bench
+}  // namespace farm
+
+#endif  // BENCH_BENCH_UTIL_TIMELINE_

@@ -1,0 +1,111 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace farm {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  int octave = 63 - std::countl_zero(value);  // index of the top set bit
+  int shift = octave - kSubBucketBits;
+  int sub = static_cast<int>((value >> shift) & (kSubBuckets - 1));
+  int bucket = (octave - kSubBucketBits + 1) * kSubBuckets + sub;
+  return std::min(bucket, kBuckets - 1);
+}
+
+uint64_t Histogram::BucketMidpoint(int bucket) {
+  if (bucket < kSubBuckets) {
+    return static_cast<uint64_t>(bucket);
+  }
+  int octave = bucket / kSubBuckets + kSubBucketBits - 1;
+  int sub = bucket % kSubBuckets;
+  int shift = octave - kSubBucketBits;
+  uint64_t base = (1ULL << octave) + (static_cast<uint64_t>(sub) << shift);
+  return base + (1ULL << shift) / 2;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; i++) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  uint64_t target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; i++) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= target) {
+      return BucketMidpoint(i);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.1fus p50=%.1fus p99=%.1fus max=%.1fus",
+                static_cast<unsigned long long>(count_), Mean() / 1e3,
+                static_cast<double>(Percentile(50)) / 1e3,
+                static_cast<double>(Percentile(99)) / 1e3, static_cast<double>(max()) / 1e3);
+  return buf;
+}
+
+void TimeSeries::Record(uint64_t time_ns, uint64_t count) {
+  size_t idx = static_cast<size_t>(time_ns / interval_ns_);
+  if (idx >= intervals_.size()) {
+    intervals_.resize(idx + 1, 0);
+  }
+  intervals_[idx] += count;
+}
+
+double TimeSeries::AverageRate(uint64_t from_ns, uint64_t to_ns) const {
+  FARM_CHECK(to_ns > from_ns);
+  size_t first = static_cast<size_t>(from_ns / interval_ns_);
+  size_t last = static_cast<size_t>(to_ns / interval_ns_);
+  uint64_t total = 0;
+  size_t n = 0;
+  for (size_t i = first; i < last && i < intervals_.size(); i++) {
+    total += intervals_[i];
+    n++;
+  }
+  return n == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(n);
+}
+
+}  // namespace farm

@@ -1,0 +1,70 @@
+// Log-bucketed latency histogram (HdrHistogram-style) and timeline series.
+//
+// The benches report median/99th latency (figures 7 and 8) and per-interval
+// throughput timelines (figures 9-15).
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace farm {
+
+// Records values with ~1.6% relative precision using 64 sub-buckets per
+// power of two. Suitable for nanosecond latencies up to ~hours.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  // p in [0, 100]. Returns a representative value for that percentile.
+  uint64_t Percentile(double p) const;
+
+  std::string Summary() const;  // "n=... mean=... p50=... p99=..." (in µs)
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBuckets = (64 - kSubBucketBits) * kSubBuckets;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketMidpoint(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+// Accumulates event counts into fixed-width time intervals, producing the
+// per-millisecond throughput timelines shown in the failure figures.
+class TimeSeries {
+ public:
+  explicit TimeSeries(uint64_t interval_ns) : interval_ns_(interval_ns) {}
+
+  void Record(uint64_t time_ns, uint64_t count = 1);
+
+  uint64_t interval_ns() const { return interval_ns_; }
+  // Counts per interval, index i covers [i*interval, (i+1)*interval).
+  const std::vector<uint64_t>& intervals() const { return intervals_; }
+
+  // Average events/interval over [from_ns, to_ns).
+  double AverageRate(uint64_t from_ns, uint64_t to_ns) const;
+
+ private:
+  uint64_t interval_ns_;
+  std::vector<uint64_t> intervals_;
+};
+
+}  // namespace farm
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,41 @@
+#include "src/common/logging.h"
+
+#include <cstring>
+
+namespace farm {
+
+LogLevel& GlobalLogLevel() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kNone:
+      return "NONE";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s:%d %s\n", LevelName(level), Basename(file), line, msg.c_str());
+}
+
+}  // namespace farm

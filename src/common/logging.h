@@ -1,0 +1,91 @@
+// Minimal leveled logging for the FaRM reproduction.
+//
+// Logging is synchronous and goes to stderr. The active level is a process
+// global; benches set it to kWarn so timing loops are not perturbed.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace farm {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Returns the mutable process-wide log level.
+LogLevel& GlobalLogLevel();
+
+// Internal sink used by the LOG macro; do not call directly.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+namespace log_internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+}  // namespace farm
+
+#define FARM_LOG(level)                                        \
+  if (::farm::LogLevel::k##level < ::farm::GlobalLogLevel()) { \
+  } else                                                       \
+    ::farm::log_internal::LogLine(::farm::LogLevel::k##level, __FILE__, __LINE__)
+
+#define FARM_CHECK(cond)                                                            \
+  if (cond) {                                                                       \
+  } else                                                                            \
+    ::farm::log_internal::FatalLine(__FILE__, __LINE__) << "CHECK failed: " << #cond \
+                                                        << " "
+
+namespace farm {
+namespace log_internal {
+
+class FatalLine {
+ public:
+  FatalLine(const char* file, int line) : file_(file), line_(line) {}
+  [[noreturn]] ~FatalLine() {
+    std::fprintf(stderr, "[FATAL] %s:%d %s\n", file_, line_, stream_.str().c_str());
+    std::abort();
+  }
+
+  template <typename T>
+  FatalLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace farm
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,108 @@
+// Deterministic random number generation for the simulator and workloads.
+//
+// PCG32 keeps simulation runs reproducible from a single 64-bit seed; the
+// helpers cover the distributions the benchmarks need (uniform, zipfian for
+// skewed key access, exponential for think times).
+#ifndef SRC_COMMON_RAND_H_
+#define SRC_COMMON_RAND_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace farm {
+
+// PCG-XSH-RR 64/32 (O'Neill 2014). Small state, good statistical quality.
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed, uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    Next();
+    state_ += seed;
+    Next();
+  }
+
+  uint32_t Next() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  uint64_t Next64() { return (static_cast<uint64_t>(Next()) << 32) | Next(); }
+
+  // Uniform in [0, bound). Lemire's multiply-shift rejection method.
+  uint32_t Uniform(uint32_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    uint64_t m = static_cast<uint64_t>(Next()) * bound;
+    uint32_t l = static_cast<uint32_t>(m);
+    if (l < bound) {
+      uint32_t t = -bound % bound;
+      while (l < t) {
+        m = static_cast<uint64_t>(Next()) * bound;
+        l = static_cast<uint32_t>(m);
+      }
+    }
+    return static_cast<uint32_t>(m >> 32);
+  }
+
+  uint64_t Uniform64(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    // Rejection sampling on the top bits.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+      uint64_t r = Next64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next()) * (1.0 / 4294967296.0); }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with the given mean.
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u >= 1.0) {
+      u = 0.9999999999;
+    }
+    return -mean * std::log(1.0 - u);
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+// Zipfian generator over [0, n). Precomputes the harmonic sums; used by the
+// skewed-access variants of the key-value workload.
+class Zipf {
+ public:
+  Zipf(uint64_t n, double theta);
+
+  uint64_t Next(Pcg32& rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace farm
+
+#endif  // SRC_COMMON_RAND_H_

@@ -1,0 +1,103 @@
+// Lightweight Status / StatusOr error-propagation types.
+//
+// The transaction and recovery protocols report failure categories rather
+// than rich error payloads, so a compact enum-based status is sufficient.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace farm {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kAborted,           // transaction conflict (lock or validation failure)
+  kNotFound,          // missing key / object / region
+  kUnavailable,       // target machine dead or not in configuration
+  kResourceExhausted, // out of memory / log space / capacity
+  kInvalidArgument,
+  kFailedPrecondition,
+  kTimedOut,
+  kInternal,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    std::string s = StatusCodeName(code_);
+    if (!msg_.empty()) {
+      s += ": ";
+      s += msg_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status AbortedStatus(std::string msg = "") {
+  return Status(StatusCode::kAborted, std::move(msg));
+}
+inline Status NotFoundStatus(std::string msg = "") {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status UnavailableStatus(std::string msg = "") {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+
+// A value-or-status union. Value access requires ok().
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    FARM_CHECK(!status_.ok()) << "StatusOr constructed from OK status without a value";
+  }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(OkStatus()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    FARM_CHECK(ok()) << "value() on non-OK StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  const T& value() const {
+    FARM_CHECK(ok()) << "value() on non-OK StatusOr: " << status_.ToString();
+    return *value_;
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace farm
+
+#endif  // SRC_COMMON_STATUS_H_

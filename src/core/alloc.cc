@@ -1,0 +1,156 @@
+#include "src/core/alloc.h"
+
+#include <bit>
+
+namespace farm {
+
+RegionAllocator::RegionAllocator(RegionReplica* region, uint32_t block_size)
+    : region_(region), block_size_(block_size), num_blocks_(region->size() / block_size) {
+  FARM_CHECK(num_blocks_ > 0) << "region smaller than one block";
+  block_payload_.assign(num_blocks_, 0);
+  int classes = 0;
+  for (uint32_t c = kMinPayload; c <= kMaxPayload; c *= 2) {
+    classes++;
+  }
+  free_.resize(static_cast<size_t>(classes));
+}
+
+uint32_t RegionAllocator::ClassPayload(uint32_t payload_size) {
+  uint32_t c = kMinPayload;
+  while (c < payload_size) {
+    c *= 2;
+  }
+  return c;
+}
+
+int RegionAllocator::ClassIndex(uint32_t class_payload) const {
+  return std::countr_zero(class_payload) - std::countr_zero(kMinPayload);
+}
+
+bool RegionAllocator::FormatBlock(uint32_t class_payload) {
+  if (next_unformatted_ >= num_blocks_) {
+    return false;
+  }
+  uint32_t block = next_unformatted_++;
+  block_payload_[block] = class_payload;
+  pending_headers_.push_back(BlockHeader{block, class_payload});
+  uint32_t slot_bytes = SlotBytes(class_payload);
+  uint32_t base = block * block_size_;
+  int ci = ClassIndex(class_payload);
+  for (uint32_t off = 0; off + slot_bytes <= block_size_; off += slot_bytes) {
+    free_[static_cast<size_t>(ci)].push_back(GlobalAddr{region_->id(), base + off});
+  }
+  return true;
+}
+
+StatusOr<RegionAllocator::Slot> RegionAllocator::Reserve(uint32_t payload_size) {
+  if (payload_size > kMaxPayload) {
+    return Status(StatusCode::kInvalidArgument, "object too large for slab allocator");
+  }
+  uint32_t cls = ClassPayload(payload_size);
+  auto& list = free_[static_cast<size_t>(ClassIndex(cls))];
+  if (list.empty()) {
+    if (recovering_) {
+      return Status(StatusCode::kResourceExhausted, "free lists recovering");
+    }
+    if (!FormatBlock(cls)) {
+      return Status(StatusCode::kResourceExhausted, "region full");
+    }
+  }
+  Slot s;
+  s.addr = list.back();
+  list.pop_back();
+  s.header_word = region_->ReadHeader(s.addr.offset);
+  FARM_CHECK(!VersionWord::IsAllocated(s.header_word))
+      << "free-list slot " << s.addr.ToString() << " already allocated";
+  return s;
+}
+
+void RegionAllocator::Release(GlobalAddr addr) {
+  uint32_t cls = block_payload_[addr.offset / block_size_];
+  FARM_CHECK(cls != 0);
+  free_[static_cast<size_t>(ClassIndex(cls))].push_back(addr);
+}
+
+void RegionAllocator::OnFreeCommitted(GlobalAddr addr) {
+  if (recovering_) {
+    queued_frees_.push_back(addr);
+    return;
+  }
+  Release(addr);
+}
+
+std::vector<RegionAllocator::BlockHeader> RegionAllocator::TakePendingBlockHeaders() {
+  return std::exchange(pending_headers_, {});
+}
+
+void RegionAllocator::InstallBlockHeader(const BlockHeader& h) {
+  FARM_CHECK(h.block_index < num_blocks_);
+  block_payload_[h.block_index] = h.slot_payload;
+  if (h.block_index >= next_unformatted_) {
+    next_unformatted_ = h.block_index + 1;
+  }
+}
+
+uint32_t RegionAllocator::PayloadSizeAt(uint32_t offset) const {
+  uint32_t block = offset / block_size_;
+  return block < num_blocks_ ? block_payload_[block] : 0;
+}
+
+void RegionAllocator::StartFreeListRecovery() {
+  for (auto& list : free_) {
+    list.clear();
+  }
+  recovering_ = true;
+  scan_block_ = 0;
+  scan_slot_ = 0;
+}
+
+int RegionAllocator::RecoveryScanStep(int max_objects) {
+  if (!recovering_) {
+    return 0;
+  }
+  int scanned = 0;
+  while (scanned < max_objects) {
+    if (scan_block_ >= num_blocks_) {
+      // Scan complete: apply queued frees and resume normal operation.
+      recovering_ = false;
+      while (!queued_frees_.empty()) {
+        Release(queued_frees_.front());
+        queued_frees_.pop_front();
+      }
+      return scanned;
+    }
+    uint32_t cls = block_payload_[scan_block_];
+    if (cls == 0) {
+      scan_block_++;
+      scan_slot_ = 0;
+      continue;
+    }
+    uint32_t slot_bytes = SlotBytes(cls);
+    uint32_t offset = scan_block_ * block_size_ + scan_slot_ * slot_bytes;
+    if (offset + slot_bytes > (scan_block_ + 1) * block_size_) {
+      scan_block_++;
+      scan_slot_ = 0;
+      continue;
+    }
+    uint64_t header = region_->ReadHeader(offset);
+    if (!VersionWord::IsAllocated(header) && !VersionWord::IsLocked(header)) {
+      free_[static_cast<size_t>(ClassIndex(cls))].push_back(
+          GlobalAddr{region_->id(), offset});
+    }
+    scan_slot_++;
+    scanned++;
+  }
+  return scanned;
+}
+
+size_t RegionAllocator::FreeSlots() const {
+  size_t n = 0;
+  for (const auto& list : free_) {
+    n += list.size();
+  }
+  return n;
+}
+
+}  // namespace farm

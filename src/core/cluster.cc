@@ -1,0 +1,121 @@
+#include "src/core/cluster.h"
+
+namespace farm {
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  fabric_ = std::make_unique<Fabric>(sim_, options_.cost);
+
+  int farm_machines = options_.machines;
+  int total = farm_machines + options_.zk_replicas;
+  for (int i = 0; i < total; i++) {
+    bool is_farm = i < farm_machines;
+    int threads = is_farm ? options_.node.worker_threads + 1 : 2;
+    int domain = is_farm ? FailureDomainOf(static_cast<MachineId>(i)) : 1000 + i;
+    machines_.push_back(
+        std::make_unique<Machine>(sim_, static_cast<MachineId>(i), threads, domain));
+    stores_.push_back(std::make_unique<NvramStore>());
+    fabric_->AddMachine(machines_.back().get(), stores_.back().get(),
+                        options_.nics_per_machine);
+  }
+
+  std::vector<MachineId> zk_ids;
+  for (int i = 0; i < options_.zk_replicas; i++) {
+    zk_ids.push_back(static_cast<MachineId>(farm_machines + i));
+  }
+  zk_ = std::make_unique<CoordinationService>(*fabric_, zk_ids);
+
+  for (int i = 0; i < farm_machines; i++) {
+    nodes_.push_back(std::make_unique<Node>(this, machines_[static_cast<size_t>(i)].get(),
+                                            stores_[static_cast<size_t>(i)].get(),
+                                            options_.node));
+  }
+  // Full-mesh ring wiring, including self-rings (local participation).
+  for (int i = 0; i < farm_machines; i++) {
+    for (int j = i; j < farm_machines; j++) {
+      Messenger::Connect(nodes_[static_cast<size_t>(i)]->messenger(),
+                         nodes_[static_cast<size_t>(j)]->messenger());
+    }
+  }
+}
+
+Cluster::~Cluster() = default;
+
+int Cluster::FailureDomainOf(MachineId m) const {
+  if (options_.failure_domains > 0) {
+    return static_cast<int>(m) % options_.failure_domains;
+  }
+  return static_cast<int>(m);
+}
+
+void Cluster::Start() {
+  Configuration initial;
+  initial.id = 1;
+  for (int i = 0; i < options_.machines; i++) {
+    MachineId m = static_cast<MachineId>(i);
+    initial.machines.push_back(m);
+    initial.failure_domains[m] = FailureDomainOf(m);
+  }
+  initial.cm = 0;
+
+  for (auto& node : nodes_) {
+    node->Bootstrap(initial);
+  }
+
+  // Seed the coordination service with the initial configuration so the
+  // first reconfiguration's CAS (expected version 1) lands correctly.
+  auto seed = [](Cluster* c, Configuration cfg) -> Task<void> {
+    auto r = co_await c->zk().CompareAndSwap(0, 0, cfg.Serialize(), nullptr);
+    FARM_CHECK(r.ok()) << "failed to seed coordination service: " << r.status().ToString();
+  };
+  Spawn(seed(this, initial));
+}
+
+void Cluster::PowerFailureRestart() {
+  for (int i = 0; i < options_.machines; i++) {
+    machines_[static_cast<size_t>(i)]->Kill();
+    machines_[static_cast<size_t>(i)]->Reboot();
+  }
+  for (auto& node : nodes_) {
+    node->RestartRecovery();
+  }
+}
+
+void Cluster::KillFailureDomain(int domain) {
+  for (int i = 0; i < options_.machines; i++) {
+    if (FailureDomainOf(static_cast<MachineId>(i)) == domain) {
+      Kill(static_cast<MachineId>(i));
+    }
+  }
+}
+
+void Cluster::NoteRegionLost(RegionId r) {
+  FARM_LOG(Error) << "region " << r << " lost all replicas";
+  lost_regions_.push_back(r);
+}
+
+void Cluster::NoteRegionRereplicated(RegionId r) {
+  (void)r;
+  regions_rereplicated_++;
+  rereplication_times_.push_back(sim_.Now());
+}
+
+NodeStats Cluster::TotalStats() const {
+  NodeStats total;
+  for (const auto& node : nodes_) {
+    const NodeStats& s = node->stats();
+    total.tx_committed += s.tx_committed;
+    total.tx_aborted_lock += s.tx_aborted_lock;
+    total.tx_aborted_validate += s.tx_aborted_validate;
+    total.tx_unresolved += s.tx_unresolved;
+    total.tx_recovered_commit += s.tx_recovered_commit;
+    total.tx_recovered_abort += s.tx_recovered_abort;
+    total.lockfree_reads += s.lockfree_reads;
+    total.recovering_txs_seen += s.recovering_txs_seen;
+    total.regions_rereplicated += s.regions_rereplicated;
+    total.reconfigurations += s.reconfigurations;
+  }
+  return total;
+}
+
+}  // namespace farm

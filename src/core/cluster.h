@@ -1,0 +1,113 @@
+// Cluster harness: builds the simulator, machines, NVRAM stores, fabric,
+// coordination service, and FaRM nodes, and wires them together.
+//
+// Machine ids 0..machines-1 run FaRM; ids machines..machines+zk_replicas-1
+// host the coordination service (the paper's separate ZooKeeper machines).
+#ifndef SRC_CORE_CLUSTER_H_
+#define SRC_CORE_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/rand.h"
+#include "src/core/node.h"
+#include "src/net/fabric.h"
+#include "src/nvram/nvram.h"
+#include "src/sim/simulator.h"
+#include "src/zk/coord.h"
+
+namespace farm {
+
+struct ClusterOptions {
+  int machines = 5;
+  int zk_replicas = 3;
+  NodeOptions node;
+  CostModel cost;
+  int nics_per_machine = 2;
+  // Machines are assigned round-robin to this many failure domains
+  // (0 = every machine is its own domain).
+  int failure_domains = 0;
+  uint64_t seed = 1;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Installs the initial configuration (id 1, CM = machine 0) in the
+  // coordination service and on every node, and starts lease exchange.
+  void Start();
+
+  Simulator& sim() { return sim_; }
+  Fabric& fabric() { return *fabric_; }
+  CoordinationService& zk() { return *zk_; }
+  Pcg32& rng() { return rng_; }
+  const ClusterOptions& options() const { return options_; }
+
+  int num_machines() const { return options_.machines; }
+  Node& node(MachineId m) { return *nodes_[m]; }
+  Machine& machine(MachineId m) { return *machines_[m]; }
+  NvramStore& store(MachineId m) { return *stores_[m]; }
+
+  // Kills the FaRM process on a machine (it never comes back).
+  void Kill(MachineId m) { machines_[m]->Kill(); }
+  // Whole-cluster power failure: every machine reboots with its NVRAM
+  // intact and runs restart recovery. Run the simulator afterwards so the
+  // recovery votes/decisions complete.
+  void PowerFailureRestart();
+  void KillFailureDomain(int domain);
+  int FailureDomainOf(MachineId m) const;
+
+  // Runs the simulator.
+  void RunFor(SimDuration d) { sim_.RunFor(d); }
+  void RunUntilIdle() { sim_.Run(); }
+
+  // ---- global observability ----
+  // Recovery milestones (the annotations in figures 9-11): "suspect",
+  // "probe", "zookeeper", "config-commit", "all-active", "data-rec-start".
+  void NoteMilestone(const char* name) { milestones_.push_back({name, sim_.Now()}); }
+  const std::vector<std::pair<std::string, SimTime>>& milestones() const { return milestones_; }
+  void ClearMilestones() { milestones_.clear(); }
+  // Last occurrence of a milestone at/after `from` (kSimTimeNever if none).
+  SimTime MilestoneAfter(const std::string& name, SimTime from) const {
+    for (const auto& [n, t] : milestones_) {
+      if (n == name && t >= from) {
+        return t;
+      }
+    }
+    return kSimTimeNever;
+  }
+
+  void NoteRegionLost(RegionId r);
+  bool AnyRegionLost() const { return !lost_regions_.empty(); }
+  const std::vector<RegionId>& lost_regions() const { return lost_regions_; }
+  // Data-recovery completions (Figure 9b/10b dashed lines).
+  void NoteRegionRereplicated(RegionId r);
+  uint64_t regions_rereplicated() const { return regions_rereplicated_; }
+  const std::vector<SimTime>& rereplication_times() const { return rereplication_times_; }
+
+  NodeStats TotalStats() const;
+
+ private:
+  ClusterOptions options_;
+  Simulator sim_;
+  Pcg32 rng_;
+  std::unique_ptr<Fabric> fabric_;
+  std::vector<std::unique_ptr<Machine>> machines_;  // FaRM + zk machines
+  std::vector<std::unique_ptr<NvramStore>> stores_;
+  std::unique_ptr<CoordinationService> zk_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::pair<std::string, SimTime>> milestones_;
+  std::vector<RegionId> lost_regions_;
+  uint64_t regions_rereplicated_ = 0;
+  std::vector<SimTime> rereplication_times_;
+};
+
+}  // namespace farm
+
+#endif  // SRC_CORE_CLUSTER_H_

@@ -1,0 +1,502 @@
+// Configuration-manager duties: region allocation (section 3) and the
+// reconfiguration protocol (section 5.2).
+#include <algorithm>
+
+#include "src/core/cluster.h"
+#include "src/core/node.h"
+
+namespace farm {
+
+namespace {
+
+constexpr SimDuration kPrepareTimeout = 50 * kMillisecond;
+// A non-CM machine that asked a backup CM to reconfigure retries itself
+// after this long if nothing changed.
+constexpr SimDuration kBackupCmTimeout = 20 * kMillisecond;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Region allocation
+// ---------------------------------------------------------------------------
+
+void Node::HandleRegionCreate(MachineId from, BufReader& r) {
+  uint64_t correlation = r.GetU64();
+  uint32_t size = r.GetU32();
+  uint32_t stride = r.GetU32();
+  RegionId colocate = r.GetU32();
+  RunRegionCreate(from, correlation, size, stride, colocate);
+}
+
+StatusOr<std::vector<MachineId>> Node::PickReplicas(uint32_t size, RegionId colocate_with,
+                                                    const std::vector<MachineId>& exclude) const {
+  (void)size;
+  int need = options_.replication_factor;
+  // Locality constraint: co-locate with the target region's replicas
+  // (section 3) when they are all still members.
+  if (colocate_with != kInvalidRegion) {
+    const RegionPlacement* target = config_.Placement(colocate_with);
+    if (target != nullptr) {
+      std::vector<MachineId> same = target->Replicas();
+      bool usable = static_cast<int>(same.size()) == need;
+      for (MachineId m : same) {
+        if (!config_.Contains(m) ||
+            std::find(exclude.begin(), exclude.end(), m) != exclude.end()) {
+          usable = false;
+        }
+      }
+      if (usable) {
+        return same;
+      }
+    }
+  }
+  // Balance the number of region replicas per machine, subject to one
+  // replica per failure domain. Primary load is balanced separately --
+  // otherwise deterministic tie-breaking concentrates every primary (and
+  // therefore all lock/validation work) on a few machines.
+  std::map<MachineId, int> load;
+  std::map<MachineId, int> primary_load;
+  for (MachineId m : config_.machines) {
+    load[m] = 0;
+    primary_load[m] = 0;
+  }
+  for (const auto& [rid, p] : config_.regions) {
+    (void)rid;
+    for (MachineId m : p.Replicas()) {
+      if (load.count(m) != 0) {
+        load[m]++;
+      }
+    }
+    if (primary_load.count(p.primary) != 0) {
+      primary_load[p.primary]++;
+    }
+  }
+  std::vector<MachineId> candidates;
+  for (MachineId m : config_.machines) {
+    if (std::find(exclude.begin(), exclude.end(), m) == exclude.end()) {
+      candidates.push_back(m);
+    }
+  }
+  auto domain_of = [&](MachineId m) {
+    auto fit = config_.failure_domains.find(m);
+    return fit == config_.failure_domains.end() ? static_cast<int>(m) : fit->second;
+  };
+  std::vector<MachineId> chosen;
+  std::set<int> domains;
+  // The primary: least primaries first, then least replicas.
+  std::sort(candidates.begin(), candidates.end(), [&](MachineId a, MachineId b) {
+    if (primary_load[a] != primary_load[b]) {
+      return primary_load[a] < primary_load[b];
+    }
+    return load[a] != load[b] ? load[a] < load[b] : a < b;
+  });
+  chosen.push_back(candidates.front());
+  domains.insert(domain_of(candidates.front()));
+  // Backups: least replicas first.
+  std::sort(candidates.begin(), candidates.end(), [&](MachineId a, MachineId b) {
+    return load[a] != load[b] ? load[a] < load[b] : a < b;
+  });
+  for (MachineId m : candidates) {
+    if (static_cast<int>(chosen.size()) == need) {
+      return chosen;
+    }
+    if (domains.count(domain_of(m)) != 0 ||
+        std::find(chosen.begin(), chosen.end(), m) != chosen.end()) {
+      continue;
+    }
+    chosen.push_back(m);
+    domains.insert(domain_of(m));
+  }
+  if (static_cast<int>(chosen.size()) == need) {
+    return chosen;
+  }
+  return Status(StatusCode::kResourceExhausted,
+                "not enough machines in distinct failure domains");
+}
+
+Detached Node::RunRegionCreate(MachineId from, uint64_t correlation, uint32_t size,
+                               uint32_t object_stride, RegionId colocate_with) {
+  if (!IsCm()) {
+    Respond(from, correlation, Status(StatusCode::kFailedPrecondition, "not the CM"), {}, -1);
+    co_return;
+  }
+  auto replicas = PickReplicas(size, colocate_with, {});
+  if (!replicas.ok()) {
+    Respond(from, correlation, replicas.status(), {}, -1);
+    co_return;
+  }
+  RegionId rid = config_.next_region_id++;
+
+  // Two-phase: prepare at all replicas, then commit (section 3).
+  bool all_ok = true;
+  for (MachineId m : *replicas) {
+    BufWriter w;
+    w.PutU32(rid);
+    w.PutU32(size);
+    w.PutU32(object_stride);
+    auto ack = co_await Request(m, MsgType::kRegionPrepare, w.Take(), -1, kPrepareTimeout);
+    if (!ack.ok()) {
+      all_ok = false;
+      break;
+    }
+  }
+  if (!all_ok) {
+    Respond(from, correlation, UnavailableStatus("region prepare failed"), {}, -1);
+    co_return;
+  }
+
+  RegionPlacement p;
+  p.primary = (*replicas)[0];
+  p.backups.assign(replicas->begin() + 1, replicas->end());
+  p.size = size;
+  p.last_primary_change = config_.id;
+  p.last_replica_change = config_.id;
+  p.colocate_with = colocate_with;
+  p.object_stride = object_stride;
+  config_.regions[rid] = p;
+
+  // Broadcast the new mapping to every member (mappings are fetched/cached
+  // by machines; the CM is their source of truth).
+  BufWriter b;
+  b.PutU32(rid);
+  b.PutU32(p.primary);
+  b.PutU32(static_cast<uint32_t>(p.backups.size()));
+  for (MachineId m : p.backups) {
+    b.PutU32(m);
+  }
+  b.PutU32(p.size);
+  b.PutU64(p.last_primary_change);
+  b.PutU64(p.last_replica_change);
+  b.PutU32(p.colocate_with);
+  b.PutU32(p.object_stride);
+  std::vector<uint8_t> msg = b.Take();
+  for (MachineId m : config_.machines) {
+    if (m != id()) {
+      messenger_->SendMessage(m, MsgType::kRegionCreateReply, msg, -1);
+    }
+  }
+  BufWriter reply;
+  reply.PutU32(rid);
+  Respond(from, correlation, OkStatus(), reply.Take(), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Failure suspicion
+// ---------------------------------------------------------------------------
+
+void Node::OnMachineSuspected(MachineId m) {
+  if (!IsCm() || !config_.Contains(m)) {
+    return;
+  }
+  StartReconfiguration({m}, "lease expired at CM");
+}
+
+void Node::OnCmSuspected() {
+  if (reconfig_in_flight_ || !config_.Contains(id())) {
+    return;
+  }
+  MachineId cm = config_.cm;
+  // Backup CMs are the k successors of the CM under consistent hashing; one
+  // of them should reconfigure, others ask and fall back (section 5.2).
+  ConsistentHashRing ring;
+  for (MachineId m : config_.machines) {
+    if (m != cm) {
+      ring.AddNode(m);
+    }
+  }
+  auto successors = ring.Successors(cm, static_cast<size_t>(options_.backup_cms));
+  bool am_backup_cm =
+      std::find(successors.begin(), successors.end(), id()) != successors.end();
+  if (am_backup_cm) {
+    StartReconfiguration({cm}, "cm lease expired (backup cm)");
+    return;
+  }
+  if (!successors.empty()) {
+    BufWriter w;
+    w.PutU32(cm);
+    messenger_->SendMessage(successors[0], MsgType::kReconfigRequest, w.Take(), -1);
+  }
+  // If nothing changes, attempt the reconfiguration ourselves.
+  ConfigId cfg_then = config_.id;
+  sim().After(kBackupCmTimeout, [this, cfg_then, cm]() {
+    if (machine_->alive() && config_.id == cfg_then && config_.cm == cm) {
+      StartReconfiguration({cm}, "cm lease expired (fallback)");
+    }
+  });
+}
+
+void Node::StartReconfiguration(std::vector<MachineId> suspects, const char* reason) {
+  if (reconfig_in_flight_ || !machine_->alive()) {
+    return;
+  }
+  FARM_LOG(Info) << "node " << id() << " starts reconfiguration (" << reason << ")";
+  cluster_->NoteMilestone("suspect");
+  reconfig_in_flight_ = true;
+  RunReconfiguration(std::move(suspects));
+}
+
+// ---------------------------------------------------------------------------
+// Reconfiguration (the 7 steps of section 5.2)
+// ---------------------------------------------------------------------------
+
+void Node::RemapRegions(Configuration& cfg) const {
+  for (auto it = cfg.regions.begin(); it != cfg.regions.end();) {
+    RegionPlacement& p = it->second;
+    std::vector<MachineId> survivors;
+    for (MachineId m : p.Replicas()) {
+      if (cfg.Contains(m)) {
+        survivors.push_back(m);
+      }
+    }
+    if (survivors.empty()) {
+      cluster_->NoteRegionLost(it->first);
+      it = cfg.regions.erase(it);
+      continue;
+    }
+    bool changed = static_cast<int>(survivors.size()) != options_.replication_factor ||
+                   survivors[0] != p.primary;
+    if (!changed) {
+      ++it;
+      continue;
+    }
+    // Promote a surviving backup when the primary failed (fast recovery:
+    // no bulk data movement before the region serves again).
+    bool primary_failed = !cfg.Contains(p.primary);
+    MachineId new_primary = primary_failed ? survivors[0] : p.primary;
+    // Re-replicate to restore f+1, balancing load and respecting failure
+    // domains and locality.
+    std::map<MachineId, int> load;
+    for (MachineId m : cfg.machines) {
+      load[m] = 0;
+    }
+    for (const auto& [orid, op] : cfg.regions) {
+      (void)orid;
+      for (MachineId m : op.Replicas()) {
+        if (load.count(m) != 0) {
+          load[m]++;
+        }
+      }
+    }
+    std::set<int> used_domains;
+    auto domain_of = [&](MachineId m) {
+      auto fit = cfg.failure_domains.find(m);
+      return fit == cfg.failure_domains.end() ? static_cast<int>(m) : fit->second;
+    };
+    for (MachineId m : survivors) {
+      used_domains.insert(domain_of(m));
+    }
+    std::vector<MachineId> additions;
+    // Locality: try the colocation target's machines first.
+    std::vector<MachineId> preferred;
+    if (p.colocate_with != kInvalidRegion) {
+      const RegionPlacement* target = cfg.Placement(p.colocate_with);
+      if (target != nullptr) {
+        preferred = target->Replicas();
+      }
+    }
+    std::vector<MachineId> candidates = preferred;
+    {
+      std::vector<MachineId> rest = cfg.machines;
+      std::sort(rest.begin(), rest.end(), [&](MachineId a, MachineId b) {
+        return load[a] != load[b] ? load[a] < load[b] : a < b;
+      });
+      candidates.insert(candidates.end(), rest.begin(), rest.end());
+    }
+    for (MachineId m : candidates) {
+      if (static_cast<int>(survivors.size() + additions.size()) >=
+          options_.replication_factor) {
+        break;
+      }
+      if (!cfg.Contains(m)) {
+        continue;
+      }
+      if (std::find(survivors.begin(), survivors.end(), m) != survivors.end() ||
+          std::find(additions.begin(), additions.end(), m) != additions.end()) {
+        continue;
+      }
+      if (used_domains.count(domain_of(m)) != 0) {
+        continue;
+      }
+      additions.push_back(m);
+      used_domains.insert(domain_of(m));
+    }
+    p.primary = new_primary;
+    p.backups.clear();
+    for (MachineId m : survivors) {
+      if (m != new_primary) {
+        p.backups.push_back(m);
+      }
+    }
+    for (MachineId m : additions) {
+      p.backups.push_back(m);
+    }
+    if (primary_failed) {
+      p.last_primary_change = cfg.id;
+    }
+    p.last_replica_change = cfg.id;
+    ++it;
+  }
+}
+
+Detached Node::RunReconfiguration(std::vector<MachineId> suspects) {
+  Configuration old = config_;
+  // Step 2: probe all machines (one-sided read of their control block);
+  // any machine whose read fails is also suspected.
+  std::vector<MachineId> responders;
+  responders.push_back(id());
+  {
+    WaitGroup wg;
+    auto alive = std::make_shared<std::vector<MachineId>>();
+    for (MachineId m : old.machines) {
+      if (m == id() ||
+          std::find(suspects.begin(), suspects.end(), m) != suspects.end()) {
+        continue;
+      }
+      wg.Add();
+      uint64_t addr = cluster_->node(m).control_block_addr();
+      fabric().Read(id(), m, addr, 8, nullptr).OnReady([wg, alive, m](NetResult& r) {
+        if (r.status.ok()) {
+          alive->push_back(m);
+        }
+        wg.Done();
+      });
+    }
+    co_await wg.Wait();
+    for (MachineId m : *alive) {
+      responders.push_back(m);
+    }
+  }
+  cluster_->NoteMilestone("probe");
+  // The new CM must obtain responses for a majority of the probes, which
+  // guarantees it is not in a minority partition.
+  if (responders.size() <= old.machines.size() / 2) {
+    FARM_LOG(Warn) << "node " << id() << ": reconfiguration aborted (no probe majority)";
+    reconfig_in_flight_ = false;
+    co_return;
+  }
+
+  // Step 3: atomically advance the configuration in the coordination
+  // service (Vertical Paxos; znode CAS keyed by the old configuration id).
+  Configuration next = old;
+  next.id = old.id + 1;
+  std::sort(responders.begin(), responders.end());
+  next.machines = responders;
+  next.cm = id();
+  {
+    std::map<MachineId, int> fd;
+    for (MachineId m : next.machines) {
+      auto it = old.failure_domains.find(m);
+      fd[m] = it == old.failure_domains.end() ? static_cast<int>(m) : it->second;
+    }
+    next.failure_domains = std::move(fd);
+  }
+  // Step 4: remap regions mapped to failed machines.
+  RemapRegions(next);
+
+  auto cas = co_await cluster_->zk().CompareAndSwap(id(), old.id, next.Serialize(), nullptr);
+  if (cas.ok()) {
+    cluster_->NoteMilestone("zookeeper");
+  }
+  if (!cas.ok()) {
+    FARM_LOG(Info) << "node " << id() << ": lost configuration CAS for id " << next.id;
+    reconfig_in_flight_ = false;
+    co_return;
+  }
+
+  // Step 5: NEW-CONFIG to all members.
+  pending_reconfig_ = PendingReconfig{};
+  pending_reconfig_->cfg = next;
+  for (MachineId m : next.machines) {
+    if (m != id()) {
+      pending_reconfig_->ack_pending.insert(m);
+    }
+  }
+  Future<Unit> acks_done;
+  pending_reconfig_->acks_done = acks_done;
+  std::vector<uint8_t> cfg_bytes = next.Serialize();
+  bool cm_changed = old.cm != id();
+  for (MachineId m : next.machines) {
+    if (m == id()) {
+      continue;
+    }
+    BufWriter w;
+    w.Append(cfg_bytes.data(), cfg_bytes.size());
+    messenger_->SendMessage(m, MsgType::kNewConfig, w.Take(), -1);
+  }
+  // Step 6 for ourselves.
+  OnNewConfig(id(), next);
+
+  if (!pending_reconfig_->ack_pending.empty()) {
+    // A member can die between NEW-CONFIG and its ack; waiting forever would
+    // wedge the cluster. On timeout, suspect the unresponsive members and
+    // run another reconfiguration on top of the (already CAS'd) new one.
+    auto acked = co_await AwaitWithTimeout(sim(), acks_done,
+                                           4 * options_.lease.duration);
+    if (!acked.has_value()) {
+      std::vector<MachineId> unresponsive(pending_reconfig_->ack_pending.begin(),
+                                          pending_reconfig_->ack_pending.end());
+      pending_reconfig_.reset();
+      reconfig_in_flight_ = false;
+      StartReconfiguration(std::move(unresponsive), "members missed NEW-CONFIG ack");
+      co_return;
+    }
+  }
+
+  // Step 7: wait out any leases the *old* CM may have granted to machines
+  // no longer in the configuration, then commit.
+  if (cm_changed) {
+    co_await SleepFor(sim(), options_.lease.duration);
+  }
+  cluster_->NoteMilestone("config-commit");
+  for (MachineId m : next.machines) {
+    if (m != id()) {
+      BufWriter w;
+      w.PutU64(next.id);
+      messenger_->SendMessage(m, MsgType::kNewConfigCommit, w.Take(), -1);
+    }
+  }
+  OnNewConfigCommit(next.id);
+  pending_reconfig_.reset();
+  reconfig_in_flight_ = false;
+}
+
+void Node::OnNewConfigAck(MachineId from, ConfigId cid) {
+  if (!pending_reconfig_.has_value() || pending_reconfig_->cfg.id != cid) {
+    return;
+  }
+  pending_reconfig_->ack_pending.erase(from);
+  if (pending_reconfig_->ack_pending.empty() && !pending_reconfig_->acks_done.Ready()) {
+    pending_reconfig_->acks_done.Set(Unit{});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// REGIONS-ACTIVE collection (CM side; section 5.4)
+// ---------------------------------------------------------------------------
+
+void Node::HandleRegionsActive(MachineId from, BufReader& r) {
+  ConfigId cid = r.GetU64();
+  if (!IsCm() || cid != config_.id) {
+    return;
+  }
+  regions_active_pending_.erase(from);
+  if (regions_active_pending_.empty()) {
+    BroadcastAllRegionsActive();
+  }
+}
+
+void Node::BroadcastAllRegionsActive() {
+  cluster_->NoteMilestone("all-active");
+  BufWriter w;
+  w.PutU64(config_.id);
+  for (MachineId m : config_.machines) {
+    if (m != id()) {
+      messenger_->SendMessage(m, MsgType::kAllRegionsActive, w.Take(), -1);
+      w = BufWriter();
+      w.PutU64(config_.id);
+    }
+  }
+  OnAllRegionsActive();
+}
+
+}  // namespace farm

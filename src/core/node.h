@@ -1,0 +1,381 @@
+// A FaRM node: one machine's worth of the system.
+//
+// Each node is simultaneously (a) storage: primary/backup region replicas in
+// NVRAM plus inbound transaction logs and message queues, (b) a transaction
+// participant: LOCK / COMMIT-PRIMARY / ABORT processing, validation, slab
+// allocation, (c) a transaction coordinator for application threads running
+// on it (unreplicated, per section 4), (d) a failure detector via leases,
+// and (e) potentially the configuration manager (CM).
+//
+// Implementation is split across: node.cc (construction, config handling,
+// participant processing, message dispatch), tx.cc (coordinator side),
+// cm.cc (CM duties and reconfiguration), lease.cc (failure detection),
+// recovery.cc (transaction state recovery), data_recovery.cc (region
+// re-replication and allocator recovery).
+#ifndef SRC_CORE_NODE_H_
+#define SRC_CORE_NODE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/alloc.h"
+#include "src/core/config.h"
+#include "src/core/lease.h"
+#include "src/core/msgr.h"
+#include "src/core/region.h"
+#include "src/core/tx.h"
+#include "src/core/types.h"
+#include "src/core/wire.h"
+#include "src/net/fabric.h"
+#include "src/nvram/nvram.h"
+#include "src/sim/task.h"
+#include "src/zk/coord.h"
+
+namespace farm {
+
+class Cluster;
+
+struct NodeOptions {
+  int worker_threads = 4;                    // foreground event-loop threads
+  uint32_t region_size = 4 << 20;            // scaled down from the paper's 2 GB
+  uint32_t block_size = 64 << 10;            // scaled down from 1 MB
+  Messenger::Options msgr;
+  LeaseOptions lease;
+  int validate_rpc_threshold = 4;            // t_r: RDMA reads vs RPC validation
+  int replication_factor = 3;                // f+1 copies per region
+  // NSDI'14-protocol ablation: also send LOCK records to backups (the
+  // optimized protocol eliminates these messages; see section 7).
+  bool backup_lock_records = false;
+  SimDuration commit_resolution_timeout = 500 * kMillisecond;  // safety net
+  SimDuration truncate_flush_interval = 200 * kMicrosecond;
+  // Recovery pacing (sections 5.4, 5.5).
+  uint32_t recovery_block_bytes = 8 << 10;
+  SimDuration recovery_fetch_interval = 4 * kMillisecond;  // randomized window
+  int recovery_concurrent_fetches = 1;       // per region being re-replicated
+  int alloc_scan_objects = 100;
+  SimDuration alloc_scan_interval = 100 * kMicrosecond;
+  SimDuration vote_timeout = 250 * kMicrosecond;
+  int backup_cms = 2;                        // k backup CMs (CM successors)
+};
+
+struct NodeStats {
+  uint64_t tx_committed = 0;
+  uint64_t tx_aborted_lock = 0;
+  uint64_t tx_aborted_validate = 0;
+  uint64_t tx_unresolved = 0;      // gave up waiting (failures)
+  uint64_t tx_recovered_commit = 0;
+  uint64_t tx_recovered_abort = 0;
+  uint64_t lockfree_reads = 0;
+  uint64_t recovering_txs_seen = 0;   // counted at vote coordinators
+  uint64_t regions_rereplicated = 0;
+  uint64_t reconfigurations = 0;
+};
+
+class Node {
+ public:
+  Node(Cluster* cluster, Machine* machine, NvramStore* store, NodeOptions options);
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // ---------------- Application API ----------------
+
+  // Starts a transaction coordinated by this node's `thread`.
+  std::unique_ptr<Transaction> Begin(int thread);
+
+  // Optimized single-object read-only transaction (lock-free read).
+  Task<StatusOr<std::vector<uint8_t>>> LockFreeRead(GlobalAddr addr, uint32_t size, int thread);
+
+  // Allocates a new region via the CM's two-phase protocol (section 3).
+  // object_stride > 0 declares an app-managed fixed layout (stride = header
+  // + payload per object); 0 means slab-managed.
+  Task<StatusOr<RegionId>> CreateRegion(uint32_t size, uint32_t object_stride,
+                                        RegionId colocate_with, int thread);
+
+  // ---------------- Introspection ----------------
+
+  MachineId id() const { return machine_->id(); }
+  const Configuration& config() const { return config_; }
+  bool IsCm() const { return config_.cm == id(); }
+  bool IsPrimaryOf(RegionId r) const;
+  bool IsBackupOf(RegionId r) const;
+  RegionReplica* replica(RegionId r);
+  RegionAllocator* allocator(RegionId r);
+  const NodeStats& stats() const { return stats_; }
+  NodeStats& mutable_stats() { return stats_; }
+  Machine& machine() { return *machine_; }
+  Messenger& messenger() { return *messenger_; }
+  LeaseManager& lease_manager() { return *lease_; }
+  NodeOptions& options() { return options_; }
+  Cluster& cluster() { return *cluster_; }
+  ConfigId last_drained() const { return last_drained_; }
+  uint64_t control_block_addr() const { return control_block_addr_; }
+  // Regions hosted here that are currently blocked (lock recovery pending).
+  int BlockedRegionCount() const;
+
+  // ---------------- Lifecycle (called by Cluster) ----------------
+
+  // Adopts the initial configuration and starts timers/leases.
+  void Bootstrap(const Configuration& initial);
+  // Whole-cluster power-failure restart (section 5's durability guarantee):
+  // forgets volatile state and replays the non-truncated NVRAM log records,
+  // re-applying any COMMIT-PRIMARY whose in-place update had not reached
+  // region memory when power was lost. Replay is idempotent: a LOCK whose
+  // object version already advanced fails its CAS and the transaction is
+  // treated as already applied.
+  void ReplayNvramLogs();
+  // Full restart recovery after a whole-cluster power failure: replays the
+  // NVRAM logs and then runs transaction-state recovery treating every
+  // surviving (non-truncated) transaction as recovering, so in-flight
+  // transactions caught by the power cut get voted, decided, and their
+  // locks resolved (section 5's durability discussion). Call on every node,
+  // then run the simulator so votes and decisions flow.
+  void RestartRecovery();
+  // Installs a replica for a region this node hosts (bootstrap/region-create).
+  RegionReplica* InstallReplica(RegionId r, uint32_t size, uint32_t object_stride);
+
+  // ---------------- Internal: used by Transaction (tx.cc) ----------------
+
+  Simulator& sim();
+  Fabric& fabric();
+  HwThread& worker(int idx) { return machine_->thread(idx); }
+
+  struct RegionRef {
+    ConfigId as_of = 0;
+    MachineId primary = kInvalidMachine;
+    uint64_t base = 0;  // NVRAM base of the region at the primary
+  };
+  // Resolves the RDMA reference for a region (may wait for an active
+  // primary; fails if the region is unknown or the primary unreachable).
+  Task<StatusOr<RegionRef>> ResolveRef(RegionId region, int thread);
+
+  TxId NextTxId(int thread);
+  void RegisterInflight(Transaction* tx);
+  void UnregisterInflight(const TxId& id);
+
+  // Truncation: the coordinator calls this once a transaction got acks from
+  // all primaries; ids are piggybacked on future records to each holder.
+  void QueueTruncation(const TxId& id, const std::vector<MachineId>& holders);
+  // Pops up to `max` pending truncation ids for records headed to `dst`.
+  std::vector<TxId> TakeTruncationsFor(MachineId dst, size_t max);
+
+  // Generic request/reply over the message queues. Returns the reply body.
+  Task<StatusOr<std::vector<uint8_t>>> Request(MachineId dst, MsgType type,
+                                               std::vector<uint8_t> body, int thread,
+                                               SimDuration timeout);
+  void Respond(MachineId dst, uint64_t correlation, Status status,
+               std::vector<uint8_t> body, int thread);
+
+  // Precise membership check before issuing one-sided operations.
+  bool InConfig(MachineId m) const { return config_.Contains(m); }
+
+  // Object allocation on behalf of a transaction: reserves a free slot at
+  // the region's primary (locally or via ALLOC-REQUEST message).
+  Task<StatusOr<RegionAllocator::Slot>> AllocSlot(RegionId region, uint32_t payload_size,
+                                                  int thread);
+  void ReleaseAllocSlot(GlobalAddr addr, int thread);
+
+  // ---------------- Internal: CM duties (cm.cc) ----------------
+
+  // Starts reconfiguration suspecting the given machines (runs the 7-step
+  // protocol of section 5.2; no-op if this node loses the ZK CAS race).
+  void StartReconfiguration(std::vector<MachineId> suspects, const char* reason);
+  // Called by the lease manager.
+  void OnMachineSuspected(MachineId m);
+  void OnCmSuspected();
+
+  // ---------------- Internal: recovery (recovery.cc) ----------------
+
+  void OnNewConfig(MachineId from, Configuration new_config);
+  void OnNewConfigAck(MachineId from, ConfigId id);
+  void OnNewConfigCommit(ConfigId id);
+  void OnRecoveryDecisionAck(MachineId from, const TxId& id);
+
+ private:
+  friend class Transaction;
+
+  // ---- participant-side processing (node.cc) ----
+  void HandleLogRecord(MachineId from, uint64_t seq, const TxLogRecord& rec);
+  void HandleMessage(MachineId from, MsgType type, std::vector<uint8_t> payload);
+  void ProcessLock(MachineId from, uint64_t seq, const TxLogRecord& rec);
+  void ProcessCommitPrimary(MachineId from, const TxLogRecord& rec);
+  void ProcessAbort(MachineId from, const TxLogRecord& rec);
+  void ProcessTruncation(MachineId from, const TxId& id);
+  void ApplyWriteAtPrimary(const WireWrite& w);
+  void ApplyWriteAtBackup(const WireWrite& w);
+  void RecordTruncated(const TxId& id);
+  bool WasTruncated(const TxId& id) const;
+
+  void HandleValidate(MachineId from, BufReader& r);
+  void HandleAllocRequest(MachineId from, BufReader& r);
+  void HandleRefRequest(MachineId from, BufReader& r);
+  void HandleBlockHeader(MachineId from, BufReader& r);
+  void FlushTruncations();  // periodic explicit TRUNCATE records
+  void ShipPendingBlockHeaders(RegionId r);
+
+  // ---- CM-side duties (cm.cc) ----
+  void HandleRegionCreate(MachineId from, BufReader& r);
+  Detached RunRegionCreate(MachineId from, uint64_t correlation, uint32_t size,
+                           uint32_t object_stride, RegionId colocate_with);
+  Detached RunReconfiguration(std::vector<MachineId> suspects);
+  StatusOr<std::vector<MachineId>> PickReplicas(uint32_t size, RegionId colocate_with,
+                                                const std::vector<MachineId>& exclude) const;
+  void RemapRegions(Configuration& cfg) const;
+  void HandleRegionsActive(MachineId from, BufReader& r);
+  void BroadcastAllRegionsActive();
+
+  // ---- recovery (recovery.cc) ----
+  struct ReplicaTxState {
+    Vote strength = Vote::kUnknown;  // strongest record seen (CP > CB > LOCK)
+    bool saw_abort_recovery = false;
+    bool has_contents = false;
+    TxLogRecord contents;  // lock-record contents (writes for this machine)
+  };
+  struct RegionRecoveryTx {
+    ReplicaTxState merged;
+    std::set<MachineId> backups_with_state;
+    std::set<MachineId> backups_missing_state;
+    int replicate_acks_pending = 0;
+    bool locks_taken = false;
+    bool voted = false;
+  };
+  struct RegionRecovery {
+    std::set<MachineId> backups_pending;  // NEED-RECOVERY not yet received
+    std::map<TxId, RegionRecoveryTx> txs;
+    bool lock_recovery_done = false;
+  };
+  struct DecisionState {
+    std::map<RegionId, Vote> votes;
+    std::set<RegionId> regions;  // modified regions (from vote messages)
+    bool decided = false;
+    bool committed = false;
+    int acks_pending = 0;
+    bool vote_timer_armed = false;
+    int timer_rounds = 0;
+  };
+
+  bool IsRecoveringTx(const TxLogRecord& rec, const Configuration& cfg) const;
+  bool TxIsRecovering(Transaction* tx, const Configuration& cfg) const;
+  void BeginTransactionStateRecovery();
+  void SendNeedRecovery();
+  void MaybeStartLockRecovery(RegionId region);
+  Detached FinishLockRecovery(RegionId region);
+  void CheckAllRegionsActive();
+  void SendVotesForRegion(RegionId region);
+  Vote ComputeVote(const RegionRecoveryTx& t) const;
+  MachineId RecoveryCoordinatorFor(const TxId& id) const;
+  void HandleNeedRecovery(MachineId from, BufReader& r);
+  void HandleFetchTxState(MachineId from, BufReader& r);
+  void HandleReplicateTxState(MachineId from, BufReader& r);
+  void HandleReplicateTxStateAck(MachineId from, BufReader& r);
+  void HandleRecoveryVote(MachineId from, BufReader& r);
+  void HandleRequestVote(MachineId from, BufReader& r);
+  void HandleRecoveryDecision(MachineId from, MsgType type, BufReader& r);
+  void HandleTruncateRecovery(MachineId from, BufReader& r);
+  void MaybeDecide(const TxId& id);
+  void ArmVoteTimer(const TxId& id);
+  void ArmVoteTimerTick(const TxId& id, ConfigId cid);
+  void Decide(const TxId& id, bool commit);
+
+  // ---- data recovery (data_recovery.cc) ----
+  void OnAllRegionsActive();
+  Detached ReplicateRegionFrom(RegionId region, MachineId primary);
+  void ApplyRecoveredBlock(RegionId region, uint32_t offset,
+                           const std::vector<uint8_t>& bytes);
+  Detached RunAllocatorRecovery(RegionId region);
+
+  Cluster* cluster_;
+  Machine* machine_;
+  NvramStore* store_;
+  NodeOptions options_;
+  std::unique_ptr<Messenger> messenger_;
+  std::unique_ptr<LeaseManager> lease_;
+
+  Configuration config_;
+  ConfigId last_drained_ = 0;
+  uint64_t control_block_addr_ = 0;  // probe target; holds LastDrained
+
+  std::map<RegionId, std::unique_ptr<RegionReplica>> replicas_;
+  std::map<RegionId, std::unique_ptr<RegionAllocator>> allocators_;
+  std::map<RegionId, RegionRef> ref_cache_;
+  // Ref requests deferred while a region is blocked (section 5.3 step 1).
+  std::map<RegionId, std::vector<std::pair<MachineId, uint64_t>>> deferred_refs_;
+
+  // Coordinator-side state.
+  uint64_t next_local_tx_ = 0;
+  std::unordered_map<TxId, Transaction*, TxIdHasher> inflight_;
+  std::map<MachineId, std::deque<TxId>> pending_truncations_;
+  bool truncate_flush_armed_ = false;
+
+  // Participant-side state.
+  struct PendingTx {
+    MachineId coordinator = kInvalidMachine;
+    TxLogRecord lock_record;
+    bool locks_held = false;
+    bool applied = false;
+  };
+  std::unordered_map<TxId, PendingTx, TxIdHasher> pending_;
+  // txid -> stored log records (from, seq) for truncation.
+  std::unordered_map<TxId, std::vector<std::pair<MachineId, uint64_t>>, TxIdHasher> log_index_;
+  // Truncated-transaction sets per coordinator (machine, thread), compacted
+  // with a low bound on the local sequence component.
+  struct TruncatedSet {
+    uint64_t low_bound = 0;
+    std::set<uint64_t> sparse;
+    void Insert(uint64_t local) {
+      if (local < low_bound) {
+        return;
+      }
+      sparse.insert(local);
+      while (!sparse.empty() && *sparse.begin() == low_bound) {
+        sparse.erase(sparse.begin());
+        low_bound++;
+      }
+    }
+    bool Contains(uint64_t local) const {
+      return local < low_bound || sparse.count(local) != 0;
+    }
+  };
+  std::map<std::pair<MachineId, uint16_t>, TruncatedSet> truncated_;
+
+  // Request/reply correlation.
+  uint64_t next_correlation_ = 1;
+  std::unordered_map<uint64_t, Future<StatusOr<std::vector<uint8_t>>>> pending_requests_;
+
+  // True while a power-failure restart treats every logged transaction as
+  // recovering (see RestartRecovery).
+  bool restart_recover_all_ = false;
+
+  // Reconfiguration / recovery state.
+  struct PendingReconfig {
+    Configuration cfg;
+    std::set<MachineId> ack_pending;
+    Future<Unit> acks_done;
+  };
+  std::optional<PendingReconfig> pending_reconfig_;  // CM side
+  bool reconfig_in_flight_ = false;
+  std::map<RegionId, RegionRecovery> region_recovery_;
+  std::unordered_map<TxId, DecisionState, TxIdHasher> decisions_;
+  std::unordered_map<TxId, std::function<void()>, TxIdHasher> vote_timers_;
+  std::set<RegionId> new_backup_regions_;   // to re-replicate after active
+  std::set<RegionId> promoted_regions_;     // allocator free lists to rebuild
+  bool regions_active_sent_ = false;
+  // CM-side: REGIONS-ACTIVE collection.
+  std::set<MachineId> regions_active_pending_;
+  // Data recovery progress (read by benches via cluster stats).
+  int data_recovery_inflight_ = 0;
+
+  NodeStats stats_;
+};
+
+}  // namespace farm
+
+#endif  // SRC_CORE_NODE_H_

@@ -1,0 +1,177 @@
+#include "src/core/ringlog.h"
+
+#include <cstring>
+
+namespace farm {
+
+RingReceiver::RingReceiver(NvramStore* store, uint32_t capacity)
+    : store_(store), cap_(capacity) {
+  FARM_CHECK(capacity % 8 == 0 && capacity >= 64);
+  base_ = store_->Allocate(8 + capacity);  // [u64 persisted head][data]
+}
+
+uint8_t* RingReceiver::At(uint64_t abs, uint32_t len) {
+  uint64_t off = abs % cap_;
+  FARM_CHECK(off + len <= cap_) << "frame straddles ring end";
+  return store_->Data(data_base() + off, len);
+}
+
+uint32_t RingReceiver::PeekLen(uint64_t abs) {
+  uint32_t len;
+  std::memcpy(&len, At(abs, 4), 4);
+  return len;
+}
+
+int RingReceiver::Drain(
+    const std::function<void(uint64_t seq, std::vector<uint8_t> payload)>& fn) {
+  int surfaced = 0;
+  for (;;) {
+    uint64_t off = parse_ % cap_;
+    uint32_t contiguous = cap_ - static_cast<uint32_t>(off);
+    if (contiguous < 4) {
+      // Degenerate tail; senders never leave <4 bytes (frames are 8-aligned).
+      parse_ += contiguous;
+      continue;
+    }
+    uint32_t len = PeekLen(parse_);
+    if (len == 0) {
+      break;  // nothing (yet) at the parse position
+    }
+    if (len == kWrapMarker) {
+      frames_.push_back(Frame{parse_, contiguous, true, true, 0});
+      parse_ += contiguous;
+      AdvanceHead();
+      continue;
+    }
+    uint32_t framed = (4 + len + 7) & ~7u;
+    FARM_CHECK(framed <= contiguous) << "corrupt frame: record straddles ring end";
+    std::vector<uint8_t> payload(len);
+    std::memcpy(payload.data(), At(parse_, framed) + 4, len);
+    uint64_t seq = next_seq_++;
+    frames_.push_back(Frame{parse_, framed, false, false, seq});
+    parse_ += framed;
+    surfaced++;
+    fn(seq, std::move(payload));
+  }
+  return surfaced;
+}
+
+void RingReceiver::MarkFreeable(uint64_t seq) {
+  for (Frame& f : frames_) {
+    if (!f.is_marker && f.seq == seq) {
+      f.freeable = true;
+      break;
+    }
+  }
+  AdvanceHead();
+}
+
+void RingReceiver::AdvanceHead() {
+  bool moved = false;
+  while (!frames_.empty() && frames_.front().freeable) {
+    Frame f = frames_.front();
+    frames_.pop_front();
+    // Zero the freed range so a future wrap parses cleanly.
+    std::memset(At(f.pos, f.framed_len), 0, f.framed_len);
+    head_ += f.framed_len;
+    bytes_freed_total_ += f.framed_len;
+    moved = true;
+  }
+  if (moved) {
+    // Persist the head so power-failure recovery knows where to re-parse.
+    std::memcpy(store_->Data(base_, 8), &head_, 8);
+  }
+}
+
+void RingReceiver::RebuildFromNvram() {
+  frames_.clear();
+  std::memcpy(&head_, store_->Data(base_, 8), 8);
+  parse_ = head_;
+  next_seq_ = 0;
+}
+
+RingSender::RingSender(Fabric* fabric, MachineId self, MachineId peer, uint64_t ring_data_base,
+                       uint32_t capacity, uint64_t feedback_addr, NvramStore* self_store,
+                       RingReceiver* local_receiver, std::function<void()> poke_receiver)
+    : fabric_(fabric),
+      self_(self),
+      peer_(peer),
+      data_base_(ring_data_base),
+      cap_(capacity),
+      feedback_addr_(feedback_addr),
+      self_store_(self_store),
+      local_receiver_(local_receiver),
+      poke_receiver_(std::move(poke_receiver)) {}
+
+uint64_t RingSender::HeadView() const {
+  uint64_t head;
+  std::memcpy(&head, self_store_->Data(feedback_addr_, 8), 8);
+  return head;
+}
+
+uint64_t RingSender::FreeBytes() const {
+  uint64_t used = tail_ - HeadView();
+  FARM_CHECK(used <= cap_);
+  return cap_ - used;
+}
+
+bool RingSender::Reserve(uint32_t payload_len) {
+  // Doubled to cover worst-case wrap-marker waste.
+  uint64_t need = 2ULL * FramedLen(payload_len);
+  if (FreeBytes() < reserved_ + need) {
+    return false;
+  }
+  reserved_ += need;
+  return true;
+}
+
+void RingSender::ReleaseReservation(uint32_t payload_len) {
+  uint64_t give = 2ULL * FramedLen(payload_len);
+  FARM_CHECK(reserved_ >= give);
+  reserved_ -= give;
+}
+
+Future<NetResult> RingSender::Append(std::vector<uint8_t> payload, uint32_t reserved_len,
+                                     HwThread* thread) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  FARM_CHECK(len <= reserved_len) << "record larger than its reservation";
+  uint32_t framed = FramedLen(len);
+  ReleaseReservation(reserved_len);
+  FARM_CHECK(tail_ - HeadView() + framed <= cap_) << "ring overflow despite reservation";
+
+  uint32_t off = static_cast<uint32_t>(tail_ % cap_);
+  uint32_t contiguous = cap_ - off;
+  if (framed > contiguous) {
+    // Emit a wrap marker and continue at the ring start.
+    std::vector<uint8_t> marker(4);
+    uint32_t m = kWrapMarker;
+    std::memcpy(marker.data(), &m, 4);
+    if (local_receiver_ != nullptr) {
+      std::memcpy(self_store_->Data(data_base_ + off, 4), marker.data(), 4);
+    } else {
+      // Fire-and-forget; the record write below orders after it in the ring.
+      (void)fabric_->Write(self_, peer_, data_base_ + off, std::move(marker), nullptr);
+    }
+    tail_ += contiguous;
+    off = 0;
+    FARM_CHECK(tail_ - HeadView() + framed <= cap_) << "ring overflow after wrap";
+  }
+
+  std::vector<uint8_t> frame(framed, 0);
+  std::memcpy(frame.data(), &len, 4);
+  std::memcpy(frame.data() + 4, payload.data(), payload.size());
+  tail_ += framed;
+
+  if (local_receiver_ != nullptr) {
+    // Local log write: plain memory store into our own NVRAM.
+    std::memcpy(self_store_->Data(data_base_ + off, framed), frame.data(), framed);
+    poke_receiver_();
+    Future<NetResult> done;
+    done.Set(NetResult{OkStatus(), {}});
+    return done;
+  }
+  return fabric_->Write(self_, peer_, data_base_ + off, std::move(frame), thread,
+                        poke_receiver_);
+}
+
+}  // namespace farm

@@ -1,0 +1,127 @@
+// Ring-buffer logs and message queues (section 3).
+//
+// Each sender-receiver machine pair has its own ring, physically located in
+// the receiver's NVRAM. The sender appends records with one-sided RDMA
+// writes to the tail (acknowledged by the receiver's NIC without CPU); the
+// receiver's CPU polls the head to process records. Records persist in the
+// ring until truncated -- recovery re-reads non-truncated records -- so
+// freeing space (advancing the head) is separate from processing. The
+// receiver lazily reports the freed head position back to a feedback word
+// in the sender's NVRAM so the sender can reuse space.
+//
+// Framing: 8-byte-aligned frames of [u32 payload_len][payload][pad]. A
+// length of 0 means "no record here yet"; kWrapMarker means "continue at
+// the ring start".
+#ifndef SRC_CORE_RINGLOG_H_
+#define SRC_CORE_RINGLOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/fabric.h"
+#include "src/nvram/nvram.h"
+
+namespace farm {
+
+constexpr uint32_t kWrapMarker = 0xFFFFFFFFu;
+
+// Receiver half: owns the NVRAM ring, parses frames, tracks which records
+// may be freed, and advances the head over freeable prefixes.
+class RingReceiver {
+ public:
+  RingReceiver(NvramStore* store, uint32_t capacity);
+
+  uint64_t data_base() const { return base_ + 8; }  // senders write here
+  uint32_t capacity() const { return cap_; }
+
+  // Parses complete records at the parse position. fn(seq, payload) is
+  // invoked per record; seq identifies the record for MarkFreeable.
+  // Returns the number of records surfaced.
+  int Drain(const std::function<void(uint64_t seq, std::vector<uint8_t> payload)>& fn);
+
+  // Marks a surfaced record freeable; frees (zeroes) any freeable prefix
+  // and persists the new head to NVRAM.
+  void MarkFreeable(uint64_t seq);
+
+  uint64_t head() const { return head_; }
+  uint64_t parse_pos() const { return parse_; }
+  uint64_t bytes_freed_total() const { return bytes_freed_total_; }
+
+  // Power-failure recovery: forget volatile state and re-parse everything
+  // still in the ring (head comes from the persisted NVRAM word).
+  void RebuildFromNvram();
+
+ private:
+  struct Frame {
+    uint64_t pos;
+    uint32_t framed_len;
+    bool is_marker;
+    bool freeable;
+    uint64_t seq;
+  };
+
+  uint8_t* At(uint64_t abs, uint32_t len);
+  uint32_t PeekLen(uint64_t abs);
+  void AdvanceHead();
+
+  NvramStore* store_;
+  uint64_t base_;
+  uint32_t cap_;
+  uint64_t head_ = 0;
+  uint64_t parse_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t bytes_freed_total_ = 0;
+  std::deque<Frame> frames_;  // unfreed frames in ring order
+};
+
+// Sender half: tracks the tail and the lazily-updated head view, enforces
+// space reservations (section 4: coordinators reserve log space for all
+// commit records before starting the commit), and issues the writes.
+class RingSender {
+ public:
+  // `feedback_addr` is a u64 in the *sender's* NVRAM where the receiver
+  // posts freed-head updates. For same-machine rings, local_receiver is the
+  // receiver half and appends become local memory copies.
+  RingSender(Fabric* fabric, MachineId self, MachineId peer, uint64_t ring_data_base,
+             uint32_t capacity, uint64_t feedback_addr, NvramStore* self_store,
+             RingReceiver* local_receiver, std::function<void()> poke_receiver);
+
+  // Reserves space for one record of `payload_len` (conservatively doubled
+  // to cover wrap-marker waste). Fails if the ring might not fit it.
+  bool Reserve(uint32_t payload_len);
+  void ReleaseReservation(uint32_t payload_len);
+
+  // Appends one record, consuming a prior reservation made with
+  // Reserve(reserved_len); payload.size() must be <= reserved_len. The
+  // returned future completes on the NIC hardware ack (remote) or
+  // immediately after the local copy (same machine).
+  Future<NetResult> Append(std::vector<uint8_t> payload, uint32_t reserved_len,
+                           HwThread* thread);
+
+  uint64_t FreeBytes() const;
+  uint64_t tail() const { return tail_; }
+  uint64_t reserved() const { return reserved_; }
+
+ private:
+  static uint32_t FramedLen(uint32_t payload_len) { return (4 + payload_len + 7) & ~7u; }
+  uint64_t HeadView() const;
+
+  Fabric* fabric_;
+  MachineId self_;
+  MachineId peer_;
+  uint64_t data_base_;
+  uint32_t cap_;
+  uint64_t feedback_addr_;
+  NvramStore* self_store_;
+  RingReceiver* local_receiver_;
+  std::function<void()> poke_receiver_;
+  uint64_t tail_ = 0;
+  uint64_t reserved_ = 0;
+};
+
+}  // namespace farm
+
+#endif  // SRC_CORE_RINGLOG_H_

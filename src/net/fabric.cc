@@ -1,0 +1,347 @@
+#include "src/net/fabric.h"
+
+#include <cstring>
+
+namespace farm {
+
+namespace {
+
+// Wire sizes of verb headers (request without payload / response framing).
+constexpr uint32_t kVerbHeaderBytes = 32;
+constexpr uint32_t kCasResponseBytes = 8;
+constexpr uint32_t kAckBytes = 8;
+
+}  // namespace
+
+void Fabric::AddMachine(Machine* machine, RdmaMemory* memory, int num_nics) {
+  MachineId id = machine->id();
+  if (id >= endpoints_.size()) {
+    endpoints_.resize(id + 1);
+    partition_group_.resize(id + 1, 0);
+  }
+  Endpoint& ep = endpoints_[id];
+  ep.machine = machine;
+  ep.memory = memory;
+  ep.nics.assign(static_cast<size_t>(num_nics), NicPort{});
+}
+
+bool Fabric::IsAlive(MachineId m) const {
+  return m < endpoints_.size() && endpoints_[m].machine != nullptr && endpoints_[m].machine->alive();
+}
+
+Machine* Fabric::machine(MachineId m) const {
+  FARM_CHECK(m < endpoints_.size() && endpoints_[m].machine != nullptr);
+  return endpoints_[m].machine;
+}
+
+void Fabric::SetPartition(const std::vector<std::vector<MachineId>>& groups) {
+  partitioned_ = true;
+  std::fill(partition_group_.begin(), partition_group_.end(), -1);
+  int g = 0;
+  for (const auto& group : groups) {
+    for (MachineId m : group) {
+      FARM_CHECK(m < partition_group_.size());
+      partition_group_[m] = g;
+    }
+    g++;
+  }
+}
+
+void Fabric::ClearPartition() {
+  partitioned_ = false;
+  std::fill(partition_group_.begin(), partition_group_.end(), 0);
+}
+
+bool Fabric::Reachable(MachineId a, MachineId b) const {
+  if (!partitioned_) {
+    return true;
+  }
+  if (a >= partition_group_.size() || b >= partition_group_.size()) {
+    return false;
+  }
+  return partition_group_[a] >= 0 && partition_group_[a] == partition_group_[b];
+}
+
+void Fabric::CompleteOnThread(Future<NetResult> done, NetResult result, HwThread* thread,
+                              SimDuration cpu_cost) {
+  if (thread != nullptr) {
+    thread->Run(cpu_cost, [done, result = std::move(result)]() mutable {
+      done.Set(std::move(result));
+    });
+  } else {
+    done.Set(std::move(result));
+  }
+}
+
+Future<NetResult> Fabric::Read(MachineId src, MachineId dst, uint64_t addr, uint32_t len,
+                               HwThread* thread) {
+  stats_.rdma_reads++;
+  stats_.rdma_bytes += len;
+  return OneSided(Verb::kRead, src, dst, addr, len, {}, 0, 0, thread);
+}
+
+Future<NetResult> Fabric::Write(MachineId src, MachineId dst, uint64_t addr,
+                                std::vector<uint8_t> data, HwThread* thread,
+                                std::function<void()> on_delivered) {
+  stats_.rdma_writes++;
+  stats_.rdma_bytes += data.size();
+  return OneSided(Verb::kWrite, src, dst, addr, static_cast<uint32_t>(data.size()),
+                  std::move(data), 0, 0, thread, std::move(on_delivered));
+}
+
+Future<NetResult> Fabric::Cas(MachineId src, MachineId dst, uint64_t addr, uint64_t expected,
+                              uint64_t desired, HwThread* thread) {
+  stats_.rdma_cas++;
+  stats_.rdma_bytes += 16;
+  return OneSided(Verb::kCas, src, dst, addr, 8, {}, expected, desired, thread);
+}
+
+Future<NetResult> Fabric::OneSided(Verb verb, MachineId src, MachineId dst, uint64_t addr,
+                                   uint32_t len, std::vector<uint8_t> data, uint64_t expected,
+                                   uint64_t desired, HwThread* thread,
+                                   std::function<void()> on_delivered) {
+  Future<NetResult> done;
+  Ep(src);  // validate endpoints exist
+  Ep(dst);
+
+  // Request sizes: reads/CAS carry a header; writes carry the payload.
+  uint64_t req_bytes = verb == Verb::kWrite ? kVerbHeaderBytes + len : kVerbHeaderBytes;
+  uint64_t resp_bytes = verb == Verb::kRead ? len : (verb == Verb::kCas ? kCasResponseBytes : kAckBytes);
+
+  SimTime issue_done = thread != nullptr ? thread->AcquireCpu(cost_.cpu_rdma_issue) : sim_.Now();
+
+  auto fail_later = [this, done, thread, src](SimTime from) {
+    sim_.At(from + cost_.rc_op_timeout, [this, done, thread, src]() {
+      if (!IsAlive(src)) {
+        return;  // initiator died; nobody is polling the CQ
+      }
+      CompleteOnThread(done, NetResult{UnavailableStatus("one-sided op timed out"), {}}, thread,
+                       cost_.cpu_rdma_completion);
+    });
+  };
+
+  sim_.At(issue_done, [=, this, data = std::move(data)]() mutable {
+    if (!IsAlive(src)) {
+      return;
+    }
+    if (!Reachable(src, dst) || !IsAlive(dst)) {
+      fail_later(sim_.Now());
+      return;
+    }
+    NicPort& src_nic = PickNic(Ep(src));
+    SimTime sent = src_nic.Acquire(sim_.Now(), cost_.NicOccupancy(req_bytes));
+    SimTime arrival = sent + cost_.wire_latency;
+
+    sim_.At(arrival, [=, this, data = std::move(data)]() mutable {
+      if (!Reachable(src, dst) || !IsAlive(dst)) {
+        fail_later(sim_.Now());
+        return;
+      }
+      NicPort& dst_nic = PickNic(Ep(dst));
+      // The target NIC serves the verb: DMA in/out of target memory.
+      SimTime served = dst_nic.Acquire(sim_.Now(), cost_.NicOccupancy(req_bytes + resp_bytes));
+
+      sim_.At(served, [=, this, data = std::move(data)]() mutable {
+        if (!Reachable(src, dst) || !IsAlive(dst)) {
+          fail_later(sim_.Now());
+          return;
+        }
+        Endpoint& dst_ep = Ep(dst);
+        NetResult result;
+        switch (verb) {
+          case Verb::kRead: {
+            result.data.resize(len);
+            if (!dst_ep.memory->RdmaRead(addr, len, result.data.data())) {
+              result.status = Status(StatusCode::kInvalidArgument, "rdma read protection fault");
+              result.data.clear();
+            }
+            break;
+          }
+          case Verb::kWrite: {
+            if (!dst_ep.memory->RdmaWrite(addr, data.data(), data.size())) {
+              result.status = Status(StatusCode::kInvalidArgument, "rdma write protection fault");
+            } else if (on_delivered) {
+              on_delivered();
+            }
+            break;
+          }
+          case Verb::kCas: {
+            uint64_t observed = 0;
+            if (!dst_ep.memory->RdmaCas(addr, expected, desired, &observed)) {
+              result.status = Status(StatusCode::kInvalidArgument, "rdma cas protection fault");
+            } else {
+              result.data.resize(8);
+              std::memcpy(result.data.data(), &observed, 8);
+            }
+            break;
+          }
+        }
+        // Response (data / hardware ack) crosses back through the initiator NIC.
+        NicPort& back_nic = PickNic(Ep(src));
+        SimTime resp_arrival = sim_.Now() + cost_.wire_latency;
+        SimTime delivered = back_nic.Acquire(resp_arrival, cost_.NicOccupancy(resp_bytes));
+        sim_.At(delivered, [this, done, thread, src, result = std::move(result)]() mutable {
+          if (!IsAlive(src)) {
+            return;
+          }
+          CompleteOnThread(done, std::move(result), thread, cost_.cpu_rdma_completion);
+        });
+      });
+    });
+  });
+  return done;
+}
+
+void Fabric::RegisterRpcService(MachineId m, uint16_t service, int thread_lo, int thread_hi,
+                                RpcHandler handler) {
+  Endpoint& ep = Ep(m);
+  FARM_CHECK(thread_lo >= 0 && thread_hi >= thread_lo &&
+             thread_hi < ep.machine->NumThreads());
+  Endpoint::Service svc;
+  svc.handler = std::move(handler);
+  svc.thread_lo = thread_lo;
+  svc.thread_hi = thread_hi;
+  svc.next_thread = thread_lo;
+  ep.services[service] = std::move(svc);
+}
+
+Future<NetResult> Fabric::Call(MachineId src, MachineId dst, uint16_t service,
+                               std::vector<uint8_t> request, HwThread* thread,
+                               SimDuration timeout) {
+  stats_.rpcs++;
+  stats_.rpc_bytes += request.size();
+  Future<NetResult> done;
+  auto decided = std::make_shared<bool>(false);
+  auto complete = [this, done, decided, thread, src](NetResult r) {
+    if (*decided) {
+      return;
+    }
+    *decided = true;
+    if (!IsAlive(src)) {
+      return;
+    }
+    CompleteOnThread(done, std::move(r), thread, cost_.cpu_rpc_completion);
+  };
+
+  SimTime issue_done = thread != nullptr ? thread->AcquireCpu(cost_.cpu_rpc_issue) : sim_.Now();
+  sim_.At(issue_done + timeout, [complete]() {
+    complete(NetResult{Status(StatusCode::kTimedOut, "rpc timeout"), {}});
+  });
+
+  uint64_t req_bytes = kVerbHeaderBytes + request.size();
+  sim_.At(issue_done, [=, this, request = std::move(request)]() mutable {
+    if (!IsAlive(src) || !Reachable(src, dst) || !IsAlive(dst)) {
+      return;  // timeout will fire
+    }
+    Endpoint& src_ep = Ep(src);
+    NicPort& src_nic = PickNic(src_ep);
+    SimTime sent = src_nic.Acquire(sim_.Now(), cost_.NicOccupancy(req_bytes));
+    SimTime arrival = sent + cost_.wire_latency;
+
+    sim_.At(arrival, [=, this, request = std::move(request)]() mutable {
+      if (!Reachable(src, dst) || !IsAlive(dst)) {
+        return;
+      }
+      Endpoint& dst_ep = Ep(dst);
+      NicPort& dst_nic = PickNic(dst_ep);
+      SimTime received = dst_nic.Acquire(sim_.Now(), cost_.NicOccupancy(req_bytes));
+
+      sim_.At(received, [=, this, request = std::move(request)]() mutable {
+        if (!IsAlive(dst)) {
+          return;
+        }
+        Endpoint& dep = Ep(dst);
+        auto it = dep.services.find(service);
+        if (it == dep.services.end()) {
+          complete(NetResult{Status(StatusCode::kNotFound, "no such rpc service"), {}});
+          return;
+        }
+        Endpoint::Service& svc = it->second;
+        int tid = svc.next_thread;
+        svc.next_thread = svc.next_thread >= svc.thread_hi ? svc.thread_lo : svc.next_thread + 1;
+        HwThread& handler_thread = dep.machine->thread(tid);
+        SimDuration handler_cost = cost_.cpu_rpc_handler + cost_.CpuBytes(request.size());
+
+        ReplyFn reply = [=, this](std::vector<uint8_t> resp) {
+          // Reply transport: dst NIC -> wire -> src NIC -> completion.
+          if (!IsAlive(dst) || !Reachable(src, dst)) {
+            return;
+          }
+          Endpoint& dep2 = Ep(dst);
+          NicPort& out_nic = PickNic(dep2);
+          uint64_t resp_bytes = kVerbHeaderBytes + resp.size();
+          stats_.rpc_bytes += resp.size();
+          SimTime resp_sent = out_nic.Acquire(sim_.Now(), cost_.NicOccupancy(resp_bytes));
+          SimTime resp_arrival = resp_sent + cost_.wire_latency;
+          sim_.At(resp_arrival, [=, this, resp = std::move(resp)]() mutable {
+            if (!IsAlive(src)) {
+              return;
+            }
+            Endpoint& sep = Ep(src);
+            NicPort& in_nic = PickNic(sep);
+            SimTime delivered = in_nic.Acquire(sim_.Now(), cost_.NicOccupancy(resp_bytes));
+            sim_.At(delivered, [complete, resp = std::move(resp)]() mutable {
+              complete(NetResult{OkStatus(), std::move(resp)});
+            });
+          });
+        };
+
+        handler_thread.Run(handler_cost,
+                           [handler = svc.handler, src, request = std::move(request),
+                            reply = std::move(reply)]() mutable {
+                             handler(src, std::move(request), std::move(reply));
+                           });
+      });
+    });
+  });
+  return done;
+}
+
+void Fabric::SetDatagramHandler(MachineId m, DatagramHandler handler) {
+  Ep(m).datagram_handler = std::move(handler);
+}
+
+void Fabric::SendDatagram(MachineId src, MachineId dst, std::vector<uint8_t> payload,
+                          bool bypass_nic_queue) {
+  stats_.datagrams++;
+  if (!IsAlive(src) || !Reachable(src, dst) || !IsAlive(dst)) {
+    return;
+  }
+  if (datagram_loss_ > 0 && loss_rng_.Bernoulli(datagram_loss_)) {
+    return;
+  }
+  uint64_t bytes = kVerbHeaderBytes + payload.size();
+  SimTime sent;
+  if (bypass_nic_queue) {
+    // Dedicated lease queue pair: pays transmission time but does not wait
+    // behind data operations queued on the shared path.
+    sent = sim_.Now() + cost_.NicOccupancy(bytes);
+  } else {
+    Endpoint& src_ep = Ep(src);
+    sent = PickNic(src_ep).Acquire(sim_.Now(), cost_.NicOccupancy(bytes));
+  }
+  SimTime arrival = sent + cost_.wire_latency;
+  sim_.At(arrival, [=, this, payload = std::move(payload)]() mutable {
+    if (!IsAlive(dst) || !Reachable(src, dst)) {
+      return;
+    }
+    SimTime delivered;
+    if (bypass_nic_queue) {
+      delivered = sim_.Now() + cost_.NicOccupancy(bytes);
+    } else {
+      Endpoint& dst_ep = Ep(dst);
+      delivered = PickNic(dst_ep).Acquire(sim_.Now(), cost_.NicOccupancy(bytes));
+    }
+    sim_.At(delivered, [this, src, dst, payload = std::move(payload)]() mutable {
+      if (!IsAlive(dst)) {
+        return;
+      }
+      Endpoint& ep = Ep(dst);
+      if (ep.datagram_handler) {
+        ep.datagram_handler(src, std::move(payload));
+      }
+    });
+  });
+}
+
+}  // namespace farm

@@ -1,0 +1,28 @@
+// Interface the fabric uses to access a machine's RDMA-registered memory.
+//
+// One-sided verbs act on the target's memory at NIC service time without
+// involving the target's (simulated) CPU -- implementations must therefore
+// be plain memory operations with no scheduling side effects.
+#ifndef SRC_NET_RDMA_MEMORY_H_
+#define SRC_NET_RDMA_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace farm {
+
+class RdmaMemory {
+ public:
+  virtual ~RdmaMemory() = default;
+
+  // Each returns false if [addr, addr+len) is not registered memory
+  // (the NIC would complete the verb with a protection error).
+  virtual bool RdmaRead(uint64_t addr, size_t len, uint8_t* out) = 0;
+  virtual bool RdmaWrite(uint64_t addr, const uint8_t* data, size_t len) = 0;
+  // 64-bit atomic compare-and-swap; *observed receives the pre-swap value.
+  virtual bool RdmaCas(uint64_t addr, uint64_t expected, uint64_t desired, uint64_t* observed) = 0;
+};
+
+}  // namespace farm
+
+#endif  // SRC_NET_RDMA_MEMORY_H_

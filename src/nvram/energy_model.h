@@ -1,0 +1,45 @@
+// Distributed-UPS energy model (section 2.1, Figure 1).
+//
+// On power failure the UPS battery powers the machine while DRAM contents
+// are written to 1..N commodity SSDs. The paper measured ~110 J/GB with one
+// SSD, ~90 J of which powers the two CPU sockets for the duration of the
+// save; additional SSDs shorten the save and therefore the CPU energy.
+#ifndef SRC_NVRAM_ENERGY_MODEL_H_
+#define SRC_NVRAM_ENERGY_MODEL_H_
+
+namespace farm {
+
+struct UpsEnergyModel {
+  double cpu_power_watts = 90.0;      // both sockets during the save
+  double ssd_power_watts = 20.0;      // per SSD at full write rate
+  double ssd_write_gb_per_sec = 1.0;  // sustained sequential write, per SSD
+  double dollars_per_joule = 0.005;   // Li-ion LES provisioning cost
+  double ssd_reserve_dollars_per_gb = 0.90;
+
+  // Seconds to save `gb` gigabytes striped over num_ssds SSDs.
+  double SaveSeconds(double gb, int num_ssds) const {
+    return gb / (ssd_write_gb_per_sec * static_cast<double>(num_ssds));
+  }
+
+  // Joules to save `gb` gigabytes (CPU idle power + SSD write power).
+  double SaveJoules(double gb, int num_ssds) const {
+    double secs = SaveSeconds(gb, num_ssds);
+    return secs * (cpu_power_watts + ssd_power_watts * static_cast<double>(num_ssds));
+  }
+
+  double JoulesPerGb(int num_ssds) const { return SaveJoules(1.0, num_ssds); }
+
+  // Battery cost per GB of protected DRAM (worst case: provisioning energy).
+  double BatteryDollarsPerGb(int num_ssds) const {
+    return JoulesPerGb(num_ssds) * dollars_per_joule;
+  }
+
+  // Total additional cost of non-volatility per GB (battery + SSD reserve).
+  double TotalDollarsPerGb(int num_ssds) const {
+    return BatteryDollarsPerGb(num_ssds) + ssd_reserve_dollars_per_gb;
+  }
+};
+
+}  // namespace farm
+
+#endif  // SRC_NVRAM_ENERGY_MODEL_H_

@@ -1,0 +1,76 @@
+#include "src/nvram/nvram.h"
+
+#include "src/common/logging.h"
+
+namespace farm {
+
+uint64_t NvramStore::Allocate(size_t len) {
+  FARM_CHECK(len > 0);
+  uint64_t base = next_addr_;
+  auto seg = std::make_unique<Segment>();
+  seg->base = base;
+  seg->bytes.assign(len, 0);
+  segments_[base] = std::move(seg);
+  uint64_t advance = (len + kAlign - 1) / kAlign * kAlign;
+  next_addr_ = base + advance;
+  return base;
+}
+
+NvramStore::Segment* NvramStore::Find(uint64_t addr, size_t len) {
+  if (segments_.empty() || len == 0) {
+    return nullptr;
+  }
+  auto it = segments_.upper_bound(addr);
+  if (it == segments_.begin()) {
+    return nullptr;
+  }
+  --it;
+  Segment* seg = it->second.get();
+  if (addr < seg->base || addr + len > seg->base + seg->bytes.size()) {
+    return nullptr;
+  }
+  return seg;
+}
+
+uint8_t* NvramStore::Data(uint64_t addr, size_t len) {
+  Segment* seg = Find(addr, len);
+  return seg == nullptr ? nullptr : seg->bytes.data() + (addr - seg->base);
+}
+
+const uint8_t* NvramStore::Data(uint64_t addr, size_t len) const {
+  return const_cast<NvramStore*>(this)->Data(addr, len);
+}
+
+bool NvramStore::RdmaRead(uint64_t addr, size_t len, uint8_t* out) {
+  uint8_t* p = Data(addr, len);
+  if (p == nullptr) {
+    return false;
+  }
+  std::memcpy(out, p, len);
+  return true;
+}
+
+bool NvramStore::RdmaWrite(uint64_t addr, const uint8_t* data, size_t len) {
+  uint8_t* p = Data(addr, len);
+  if (p == nullptr) {
+    return false;
+  }
+  std::memcpy(p, data, len);
+  return true;
+}
+
+bool NvramStore::RdmaCas(uint64_t addr, uint64_t expected, uint64_t desired, uint64_t* observed) {
+  uint8_t* p = Data(addr, 8);
+  if (p == nullptr || (addr & 7) != 0) {
+    return false;
+  }
+  uint64_t current;
+  std::memcpy(&current, p, 8);
+  *observed = current;
+  if (current == expected) {
+    std::memcpy(p, &desired, 8);
+  }
+  return true;
+}
+
+}  // namespace farm

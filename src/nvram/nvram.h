@@ -1,0 +1,67 @@
+// Non-volatile DRAM store.
+//
+// Each machine owns one NvramStore holding all its RDMA-registered memory:
+// region replicas, transaction logs, and message queues. The store exposes a
+// flat 64-bit address space (addresses are what remote machines use in
+// one-sided verbs) plus direct pointers for local access.
+//
+// Non-volatility: the store object is owned by the test/bench harness, not
+// by the simulated Machine, so its contents survive Machine::Reboot() --
+// modeling the distributed-UPS save/restore path of section 2.1. A Kill()ed
+// machine never rejoins, so its NVRAM is simply unreachable.
+#ifndef SRC_NVRAM_NVRAM_H_
+#define SRC_NVRAM_NVRAM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/net/rdma_memory.h"
+
+namespace farm {
+
+class NvramStore : public RdmaMemory {
+ public:
+  NvramStore() = default;
+  NvramStore(const NvramStore&) = delete;
+  NvramStore& operator=(const NvramStore&) = delete;
+
+  // Allocates a zeroed, registered range; returns its base address.
+  // Ranges are never recycled (region placement changes allocate anew).
+  uint64_t Allocate(size_t len);
+
+  // Direct pointer for local CPU access. The range must lie inside one
+  // allocation. Returns nullptr if unregistered.
+  uint8_t* Data(uint64_t addr, size_t len);
+  const uint8_t* Data(uint64_t addr, size_t len) const;
+
+  // Total registered bytes.
+  uint64_t allocated_bytes() const { return next_addr_ - kBaseAddr; }
+
+  // RdmaMemory implementation (what the simulated NIC executes).
+  bool RdmaRead(uint64_t addr, size_t len, uint8_t* out) override;
+  bool RdmaWrite(uint64_t addr, const uint8_t* data, size_t len) override;
+  bool RdmaCas(uint64_t addr, uint64_t expected, uint64_t desired, uint64_t* observed) override;
+
+ private:
+  struct Segment {
+    uint64_t base;
+    std::vector<uint8_t> bytes;
+  };
+
+  // Finds the segment containing [addr, addr+len), or nullptr.
+  Segment* Find(uint64_t addr, size_t len);
+
+  static constexpr uint64_t kBaseAddr = 0x1000;  // 0 stays invalid
+  static constexpr uint64_t kAlign = 64;
+
+  uint64_t next_addr_ = kBaseAddr;
+  // Keyed by base address; segments are non-overlapping and sorted.
+  std::map<uint64_t, std::unique_ptr<Segment>> segments_;
+};
+
+}  // namespace farm
+
+#endif  // SRC_NVRAM_NVRAM_H_

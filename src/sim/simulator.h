@@ -1,0 +1,92 @@
+// Deterministic single-threaded discrete-event simulator.
+//
+// All cluster components (machines, NICs, the fabric, the coordination
+// service) schedule closures on one Simulator instance. Events at equal
+// timestamps fire in scheduling order, so a run is fully determined by the
+// seed of the random number generators feeding it.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/sim/time.h"
+
+namespace farm {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules fn at absolute time t (>= Now()).
+  void At(SimTime t, std::function<void()> fn) {
+    FARM_CHECK(t >= now_) << "scheduling into the past: " << t << " < " << now_;
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  // Schedules fn after the given delay.
+  void After(SimDuration delay, std::function<void()> fn) { At(now_ + delay, std::move(fn)); }
+
+  // Processes the next event; returns false if the queue is empty.
+  bool Step() {
+    if (queue_.empty()) {
+      return false;
+    }
+    // Move the event out before popping so the closure survives the pop.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    events_processed_++;
+    ev.fn();
+    return true;
+  }
+
+  // Runs until the event queue is empty.
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+  // Runs all events with time <= t, then advances the clock to t.
+  void RunUntil(SimTime t) {
+    while (!queue_.empty() && queue_.top().time <= t) {
+      Step();
+    }
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+  // Runs for the given additional duration of simulated time.
+  void RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+  bool Idle() const { return queue_.empty(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // FIFO tie-break for events at the same time
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      return time > other.time || (time == other.time && seq > other.seq);
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+};
+
+}  // namespace farm
+
+#endif  // SRC_SIM_SIMULATOR_H_

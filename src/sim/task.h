@@ -1,0 +1,281 @@
+// C++20 coroutine support for the simulator.
+//
+// Protocol sequences (transaction commit, reconfiguration, recovery) are
+// written as coroutines returning sim Task<T>. Completions produced by
+// callbacks (NIC acks, message replies, timers) are surfaced as Future<T>.
+//
+// Cancellation model: coroutines belonging to a killed machine are simply
+// never resumed (their completions are dropped by the delivery layer). The
+// suspended frames are reclaimed when the process exits; simulation runs are
+// short-lived so this is acceptable and keeps the protocol code free of
+// cancellation plumbing.
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace farm {
+
+struct Unit {};
+
+template <typename T>
+class Task;
+
+namespace task_internal {
+
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+    std::coroutine_handle<> cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() noexcept {}
+};
+
+template <typename T>
+struct TaskPromise {
+  std::coroutine_handle<> continuation = nullptr;
+  std::optional<T> value;
+
+  Task<T> get_return_object();
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void return_value(T v) { value.emplace(std::move(v)); }
+  void unhandled_exception() { std::terminate(); }
+};
+
+template <>
+struct TaskPromise<void> {
+  std::coroutine_handle<> continuation = nullptr;
+
+  Task<void> get_return_object();
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void return_void() {}
+  void unhandled_exception() { std::terminate(); }
+};
+
+}  // namespace task_internal
+
+// A lazily-started coroutine. Ownership of the frame is held by the Task;
+// the frame is destroyed when the Task is destroyed (after completion, in
+// normal co_await usage).
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = task_internal::TaskPromise<T>;
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        handle.promise().continuation = cont;
+        return handle;
+      }
+      T await_resume() {
+        if constexpr (!std::is_void_v<T>) {
+          return std::move(*handle.promise().value);
+        }
+      }
+    };
+    FARM_CHECK(handle_ != nullptr) << "co_await on empty Task";
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_ = nullptr;
+};
+
+namespace task_internal {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace task_internal
+
+// Fire-and-forget coroutine; frame self-destructs on completion.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+// Starts a Task and detaches from it. The Task's frame is owned by the
+// wrapper coroutine and is destroyed when the task completes.
+inline Detached Spawn(Task<void> task) { co_await std::move(task); }
+
+// One-shot completion channel. Producer calls Set(); the single consumer
+// either co_awaits it or registers an OnReady callback. Copyable handle to
+// shared state, so callbacks can outlive the stack frame that created it.
+template <typename T>
+class Future {
+ public:
+  Future() : state_(std::make_shared<State>()) {}
+
+  void Set(T v) const {
+    FARM_CHECK(!state_->value.has_value()) << "Future::Set called twice";
+    state_->value.emplace(std::move(v));
+    if (state_->callback) {
+      auto cb = std::move(state_->callback);
+      state_->callback = nullptr;
+      cb(*state_->value);
+    }
+  }
+
+  bool Ready() const { return state_->value.has_value(); }
+
+  T& Peek() const {
+    FARM_CHECK(Ready());
+    return *state_->value;
+  }
+
+  // Registers the single consumer callback; fired immediately if already set.
+  void OnReady(std::function<void(T&)> cb) const {
+    FARM_CHECK(!state_->callback) << "Future already has a consumer";
+    if (state_->value.has_value()) {
+      cb(*state_->value);
+    } else {
+      state_->callback = std::move(cb);
+    }
+  }
+
+  auto operator co_await() const {
+    struct Awaiter {
+      std::shared_ptr<State> state;
+      bool await_ready() { return state->value.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        FARM_CHECK(!state->callback) << "Future already has a consumer";
+        state->callback = [h](T&) { h.resume(); };
+      }
+      T await_resume() { return std::move(*state->value); }
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  struct State {
+    std::optional<T> value;
+    std::function<void(T&)> callback;
+  };
+  std::shared_ptr<State> state_;
+};
+
+// Counts down outstanding work items; Wait() resumes when the count is zero.
+class WaitGroup {
+ public:
+  WaitGroup() : state_(std::make_shared<State>()) {}
+
+  void Add(int n = 1) const { state_->pending += n; }
+
+  void Done() const {
+    FARM_CHECK(state_->pending > 0) << "WaitGroup::Done without Add";
+    state_->pending--;
+    if (state_->pending == 0 && state_->waiter) {
+      auto h = state_->waiter;
+      state_->waiter = nullptr;
+      h.resume();
+    }
+  }
+
+  int pending() const { return state_->pending; }
+
+  auto Wait() const {
+    struct Awaiter {
+      std::shared_ptr<State> state;
+      bool await_ready() { return state->pending == 0; }
+      void await_suspend(std::coroutine_handle<> h) { state->waiter = h; }
+      void await_resume() {}
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  struct State {
+    int pending = 0;
+    std::coroutine_handle<> waiter = nullptr;
+  };
+  std::shared_ptr<State> state_;
+};
+
+// co_await SleepFor(sim, d): resumes after d of simulated time.
+inline auto SleepFor(Simulator& sim, SimDuration d) {
+  struct Awaiter {
+    Simulator& sim;
+    SimDuration d;
+    bool await_ready() { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim.After(d, [h]() { h.resume(); });
+    }
+    void await_resume() {}
+  };
+  return Awaiter{sim, d};
+}
+
+// Awaits the future with a deadline; nullopt on timeout. The losing side's
+// completion is dropped.
+template <typename T>
+Task<std::optional<T>> AwaitWithTimeout(Simulator& sim, Future<T> future, SimDuration timeout) {
+  Future<std::optional<T>> out;
+  auto decided = std::make_shared<bool>(false);
+  future.OnReady([out, decided](T& v) {
+    if (!*decided) {
+      *decided = true;
+      out.Set(std::optional<T>(std::move(v)));
+    }
+  });
+  sim.After(timeout, [out, decided]() {
+    if (!*decided) {
+      *decided = true;
+      out.Set(std::nullopt);
+    }
+  });
+  co_return co_await out;
+}
+
+}  // namespace farm
+
+#endif  // SRC_SIM_TASK_H_

@@ -1,0 +1,21 @@
+// Simulated time: 64-bit nanoseconds since simulation start.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace farm {
+
+using SimTime = uint64_t;      // absolute simulated time, ns
+using SimDuration = uint64_t;  // simulated duration, ns
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr SimTime kSimTimeNever = UINT64_MAX;
+
+}  // namespace farm
+
+#endif  // SRC_SIM_TIME_H_

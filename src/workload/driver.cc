@@ -1,0 +1,92 @@
+#include "src/workload/driver.h"
+
+namespace farm {
+
+namespace {
+
+struct WorkerCtx {
+  Cluster* cluster;
+  WorkloadFn fn;
+  std::shared_ptr<DriverResult> result;
+  std::shared_ptr<bool> stop;
+  std::shared_ptr<int> active;
+  SimTime measure_start;
+};
+
+Task<void> WorkerLoop(WorkerCtx ctx, MachineId machine, int thread, uint64_t seed) {
+  Pcg32 rng(seed);
+  Node& node = ctx.cluster->node(machine);
+  while (!*ctx.stop && ctx.cluster->machine(machine).alive()) {
+    SimTime t0 = ctx.cluster->sim().Now();
+    bool committed = co_await ctx.fn(node, thread, rng);
+    SimTime t1 = ctx.cluster->sim().Now();
+    if (*ctx.stop) {
+      break;
+    }
+    if (t1 >= ctx.measure_start) {
+      if (committed) {
+        ctx.result->committed++;
+        ctx.result->latency.Record(t1 - t0);
+        ctx.result->throughput.Record(t1);
+      } else {
+        ctx.result->aborted++;
+      }
+    }
+  }
+  (*ctx.active)--;
+}
+
+}  // namespace
+
+DriverRun StartWorkers(Cluster& cluster, WorkloadFn fn, DriverOptions options) {
+  DriverRun run;
+  run.options = options;
+  std::vector<MachineId> machines = options.machines;
+  if (machines.empty()) {
+    for (int i = 0; i < cluster.num_machines(); i++) {
+      machines.push_back(static_cast<MachineId>(i));
+    }
+  }
+  WorkerCtx ctx;
+  ctx.cluster = &cluster;
+  ctx.fn = std::move(fn);
+  ctx.result = run.result;
+  ctx.stop = run.stop;
+  ctx.active = run.active_workers;
+  ctx.measure_start = cluster.sim().Now() + options.warmup;
+  run.result->measure_start = ctx.measure_start;
+
+  uint64_t seq = 0;
+  for (MachineId m : machines) {
+    int threads = std::min(options.threads_per_machine,
+                           cluster.node(m).options().worker_threads);
+    for (int t = 0; t < threads; t++) {
+      for (int c = 0; c < options.concurrency_per_thread; c++) {
+        (*run.active_workers)++;
+        Spawn(WorkerLoop(ctx, m, t, HashCombine(options.seed, seq++)));
+      }
+    }
+  }
+  return run;
+}
+
+void StopWorkers(Cluster& cluster, DriverRun& run) {
+  *run.stop = true;
+  run.result->measure_end = cluster.sim().Now();
+}
+
+DriverResult RunClosedLoop(Cluster& cluster, WorkloadFn fn, DriverOptions options) {
+  DriverRun run = StartWorkers(cluster, std::move(fn), options);
+  cluster.RunFor(options.warmup + options.measure);
+  StopWorkers(cluster, run);
+  // Let in-flight operations wind down.
+  SimTime deadline = cluster.sim().Now() + kSecond;
+  while (*run.active_workers > 0 && cluster.sim().Now() < deadline) {
+    if (!cluster.sim().Step()) {
+      break;
+    }
+  }
+  return *run.result;
+}
+
+}  // namespace farm

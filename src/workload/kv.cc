@@ -1,0 +1,76 @@
+#include "src/workload/kv.h"
+
+#include <cstring>
+
+namespace farm {
+
+Task<StatusOr<KvDb>> KvDb::Create(Cluster& cluster, KvOptions options) {
+  KvDb db;
+  db.options_ = options;
+  Node& node = cluster.node(0);
+  HashTable::Options ht;
+  ht.buckets = std::max<uint64_t>(64, options.keys);  // load factor ~0.25
+  ht.value_size = options.value_size;
+  auto table = co_await HashTable::Create(node, ht, 0);
+  if (!table.ok()) {
+    co_return table.status();
+  }
+  db.table_ = *table;
+
+  Pcg32 rng(options.load_seed);
+  for (uint64_t k = 1; k <= options.keys; k += 16) {
+    for (int attempt = 0; attempt < 5; attempt++) {
+      auto tx = node.Begin(0);
+      bool ok = true;
+      for (uint64_t j = k; j < k + 16 && j <= options.keys && ok; j++) {
+        std::vector<uint8_t> value(options.value_size);
+        for (auto& b : value) {
+          b = static_cast<uint8_t>(rng.Next());
+        }
+        ok = (co_await db.table_.Put(*tx, j, std::move(value))).ok();
+      }
+      Status s(StatusCode::kInternal, "load");
+      if (ok) {
+        s = co_await tx->Commit();
+      }
+      if (s.ok()) {
+        break;
+      }
+      if (s.code() != StatusCode::kAborted) {
+        co_return s;
+      }
+    }
+  }
+  co_return db;
+}
+
+WorkloadFn KvDb::MakeWorkload() const {
+  KvDb db = *this;
+  return [db](Node& node, int thread, Pcg32& rng) -> Task<bool> {
+    uint64_t key = rng.Uniform64(db.options_.keys) + 1;
+    if (db.options_.write_fraction > 0 && rng.Bernoulli(db.options_.write_fraction)) {
+      for (int attempt = 0; attempt < 8; attempt++) {
+        auto tx = node.Begin(thread);
+        auto v = co_await db.table_.Get(*tx, key);
+        if (!v.ok() || !v->has_value()) {
+          co_return false;
+        }
+        std::vector<uint8_t> updated = **v;
+        updated[0]++;
+        (void)co_await db.table_.Put(*tx, key, std::move(updated));
+        Status s = co_await tx->Commit();
+        if (s.ok()) {
+          co_return true;
+        }
+        if (s.code() != StatusCode::kAborted) {
+          co_return false;
+        }
+      }
+      co_return false;
+    }
+    auto v = co_await db.table_.LockFreeGet(node, key, thread);
+    co_return v.ok() && v->has_value();
+  };
+}
+
+}  // namespace farm

@@ -1,0 +1,254 @@
+// Unit tests for src/common: rand, hash, histogram, serde, status.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/histogram.h"
+#include "src/common/rand.h"
+#include "src/common/serde.h"
+#include "src/common/status.h"
+
+namespace farm {
+namespace {
+
+TEST(Pcg32Test, Deterministic) {
+  Pcg32 a(42);
+  Pcg32 b(42);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; i++) {
+    if (a.Next() == b.Next()) {
+      same++;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32Test, UniformBounds) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    EXPECT_LT(rng.Uniform64(1000003), 1000003u);
+  }
+  EXPECT_EQ(rng.Uniform(0), 0u);
+  EXPECT_EQ(rng.Uniform64(0), 0u);
+}
+
+TEST(Pcg32Test, UniformIsRoughlyUniform) {
+  Pcg32 rng(12345);
+  std::vector<int> counts(10, 0);
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; i++) {
+    counts[rng.Uniform(10)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / 10, kSamples / 100);
+  }
+}
+
+TEST(Pcg32Test, BernoulliProbability) {
+  Pcg32 rng(99);
+  int hits = 0;
+  for (int i = 0; i < 100000; i++) {
+    if (rng.Bernoulli(0.3)) {
+      hits++;
+    }
+  }
+  EXPECT_NEAR(hits, 30000, 1000);
+}
+
+TEST(ZipfTest, SkewsTowardLowIndices) {
+  Pcg32 rng(5);
+  Zipf zipf(1000, 0.99);
+  int low = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; i++) {
+    uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, 1000u);
+    if (v < 10) {
+      low++;
+    }
+  }
+  // With theta=0.99 the top-10 of 1000 keys draw a large share of accesses.
+  EXPECT_GT(low, kSamples / 4);
+}
+
+TEST(HashTest, Mix64Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; bit++) {
+    uint64_t a = Mix64(0x123456789abcdefULL);
+    uint64_t b = Mix64(0x123456789abcdefULL ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  EXPECT_NEAR(total_flips / 64.0, 32.0, 6.0);
+}
+
+TEST(HashTest, Fnv1aDistinct) {
+  EXPECT_NE(Fnv1a("hello"), Fnv1a("world"));
+  EXPECT_EQ(Fnv1a("same"), Fnv1a("same"));
+}
+
+TEST(ConsistentHashTest, OwnerStableAcrossUnrelatedRemovals) {
+  ConsistentHashRing ring;
+  for (uint64_t n = 0; n < 10; n++) {
+    ring.AddNode(n);
+  }
+  // Record owners, remove one node, verify only keys owned by it move.
+  std::vector<uint64_t> owners;
+  for (uint64_t k = 0; k < 1000; k++) {
+    owners.push_back(ring.Owner(k));
+  }
+  ring.RemoveNode(3);
+  for (uint64_t k = 0; k < 1000; k++) {
+    uint64_t now = ring.Owner(k);
+    if (owners[k] != 3) {
+      EXPECT_EQ(now, owners[k]) << "key " << k << " moved needlessly";
+    } else {
+      EXPECT_NE(now, 3u);
+    }
+  }
+}
+
+TEST(ConsistentHashTest, SuccessorsDistinct) {
+  ConsistentHashRing ring;
+  for (uint64_t n = 0; n < 8; n++) {
+    ring.AddNode(n);
+  }
+  auto succ = ring.Successors(0xdeadbeef, 3);
+  ASSERT_EQ(succ.size(), 3u);
+  std::set<uint64_t> uniq(succ.begin(), succ.end());
+  EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(ConsistentHashTest, SuccessorsCappedAtRingSize) {
+  ConsistentHashRing ring;
+  ring.AddNode(1);
+  ring.AddNode(2);
+  EXPECT_EQ(ring.Successors(42, 5).size(), 2u);
+}
+
+TEST(ConsistentHashTest, BalancedOwnership) {
+  ConsistentHashRing ring(32);
+  for (uint64_t n = 0; n < 10; n++) {
+    ring.AddNode(n);
+  }
+  std::vector<int> counts(10, 0);
+  for (uint64_t k = 0; k < 100000; k++) {
+    counts[ring.Owner(k)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 2000);  // no node starves
+    EXPECT_LT(c, 30000);
+  }
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; v++) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 10000u);
+  uint64_t p50 = h.Percentile(50);
+  uint64_t p99 = h.Percentile(99);
+  EXPECT_LE(p50, p99);
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 200.0);
+  EXPECT_NEAR(static_cast<double>(p99), 9900.0, 300.0);
+}
+
+TEST(HistogramTest, MinMaxMean) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  a.Record(100);
+  b.Record(200);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.max(), 200u);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  uint64_t big = 3'600'000'000'000ULL;  // one hour in ns
+  h.Record(big);
+  // Log-bucketing keeps ~1.6% relative precision.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), static_cast<double>(big), 0.02 * static_cast<double>(big));
+}
+
+TEST(TimeSeriesTest, BucketsByInterval) {
+  TimeSeries ts(1000);
+  ts.Record(0);
+  ts.Record(999);
+  ts.Record(1000);
+  ts.Record(2500, 3);
+  ASSERT_EQ(ts.intervals().size(), 3u);
+  EXPECT_EQ(ts.intervals()[0], 2u);
+  EXPECT_EQ(ts.intervals()[1], 1u);
+  EXPECT_EQ(ts.intervals()[2], 3u);
+  EXPECT_DOUBLE_EQ(ts.AverageRate(0, 2000), 1.5);
+}
+
+TEST(SerdeTest, RoundTrip) {
+  BufWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutString("farm");
+  auto bytes = w.Take();
+
+  BufReader r(bytes);
+  EXPECT_EQ(r.GetU8(), 0xab);
+  EXPECT_EQ(r.GetU16(), 0x1234);
+  EXPECT_EQ(r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetString(), "farm");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, BytesWithEmbeddedZeros) {
+  BufWriter w;
+  std::vector<uint8_t> blob = {0, 1, 0, 2, 0};
+  w.PutBytes(blob.data(), blob.size());
+  BufReader r(w.bytes());
+  EXPECT_EQ(r.GetBytes(), blob);
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(OkStatus().ok());
+  Status s = AbortedStatus("conflict");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(s.ToString(), "ABORTED: conflict");
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+
+  StatusOr<int> e = NotFoundStatus("missing");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace farm

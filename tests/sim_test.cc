@@ -1,0 +1,252 @@
+// Unit tests for the discrete-event simulator, CPU model, and coroutines.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/machine.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace farm {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.After(30, [&]() { order.push_back(3); });
+  sim.After(10, [&]() { order.push_back(1); });
+  sim.After(20, [&]() { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(SimulatorTest, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; i++) {
+    sim.At(100, [&, i]() { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.After(50, [&]() { fired++; });
+  sim.After(150, [&]() { fired++; });
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 100u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  SimTime second_fire = 0;
+  sim.After(10, [&]() { sim.After(10, [&]() { second_fire = sim.Now(); }); });
+  sim.Run();
+  EXPECT_EQ(second_fire, 20u);
+}
+
+TEST(HwThreadTest, SerializesWork) {
+  Simulator sim;
+  Machine m(sim, 0, 2, 0);
+  std::vector<SimTime> completions;
+  m.thread(0).Run(100, [&]() { completions.push_back(sim.Now()); });
+  m.thread(0).Run(100, [&]() { completions.push_back(sim.Now()); });
+  // Different thread runs in parallel.
+  m.thread(1).Run(100, [&]() { completions.push_back(sim.Now()); });
+  sim.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], 100u);  // thread 0 first item
+  EXPECT_EQ(completions[1], 100u);  // thread 1 item, concurrent
+  EXPECT_EQ(completions[2], 200u);  // thread 0 second item, queued
+}
+
+TEST(HwThreadTest, BacklogReflectsQueueing) {
+  Simulator sim;
+  Machine m(sim, 0, 1, 0);
+  m.thread(0).Run(1000, []() {});
+  EXPECT_EQ(m.thread(0).Backlog(), 1000u);
+  sim.Run();
+  EXPECT_EQ(m.thread(0).Backlog(), 0u);
+}
+
+TEST(HwThreadTest, KilledMachineDropsWork) {
+  Simulator sim;
+  Machine m(sim, 0, 1, 0);
+  bool ran = false;
+  m.thread(0).Run(100, [&]() { ran = true; });
+  m.Kill();
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(HwThreadTest, RebootDropsPreRebootWork) {
+  Simulator sim;
+  Machine m(sim, 0, 1, 0);
+  bool old_ran = false;
+  bool new_ran = false;
+  m.thread(0).Run(100, [&]() { old_ran = true; });
+  m.Kill();
+  m.Reboot();
+  m.thread(0).Run(100, [&]() { new_ran = true; });
+  sim.Run();
+  EXPECT_FALSE(old_ran);  // scheduled under the old epoch
+  EXPECT_TRUE(new_ran);
+}
+
+TEST(TaskTest, BasicCoroutineCompletes) {
+  Simulator sim;
+  int result = 0;
+  auto coro = [&]() -> Task<void> {
+    co_await SleepFor(sim, 100);
+    result = 7;
+  };
+  Spawn(coro());
+  EXPECT_EQ(result, 0);
+  sim.Run();
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(sim.Now(), 100u);
+}
+
+TEST(TaskTest, NestedTasksReturnValues) {
+  Simulator sim;
+  int result = 0;
+  auto inner = [&](int x) -> Task<int> {
+    co_await SleepFor(sim, 10);
+    co_return x * 2;
+  };
+  auto outer = [&]() -> Task<void> {
+    int a = co_await inner(21);
+    result = a;
+  };
+  Spawn(outer());
+  sim.Run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(TaskTest, FutureSetBeforeAwait) {
+  Simulator sim;
+  Future<int> f;
+  f.Set(5);
+  int got = 0;
+  auto coro = [&]() -> Task<void> { got = co_await f; };
+  Spawn(coro());
+  sim.Run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(TaskTest, FutureSetAfterAwait) {
+  Simulator sim;
+  Future<int> f;
+  int got = 0;
+  auto coro = [&]() -> Task<void> { got = co_await f; };
+  Spawn(coro());
+  sim.After(100, [&]() { f.Set(9); });
+  sim.Run();
+  EXPECT_EQ(got, 9);
+}
+
+TEST(TaskTest, WaitGroupGathersAll) {
+  Simulator sim;
+  WaitGroup wg;
+  int done_at = -1;
+  for (int i = 1; i <= 3; i++) {
+    wg.Add();
+    sim.After(static_cast<SimDuration>(i * 100), [wg]() { wg.Done(); });
+  }
+  auto coro = [&]() -> Task<void> {
+    co_await wg.Wait();
+    done_at = static_cast<int>(sim.Now());
+  };
+  Spawn(coro());
+  sim.Run();
+  EXPECT_EQ(done_at, 300);
+}
+
+TEST(TaskTest, WaitGroupAlreadyZero) {
+  Simulator sim;
+  WaitGroup wg;
+  bool done = false;
+  auto coro = [&]() -> Task<void> {
+    co_await wg.Wait();
+    done = true;
+  };
+  Spawn(coro());
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(TaskTest, AwaitWithTimeoutValueWins) {
+  Simulator sim;
+  Future<int> f;
+  std::optional<int> got;
+  auto coro = [&]() -> Task<void> { got = co_await AwaitWithTimeout(sim, f, 1000); };
+  Spawn(coro());
+  sim.After(100, [&]() { f.Set(3); });
+  sim.Run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 3);
+}
+
+TEST(TaskTest, AwaitWithTimeoutTimerWins) {
+  Simulator sim;
+  Future<int> f;
+  std::optional<int> got = 1;
+  bool finished = false;
+  auto coro = [&]() -> Task<void> {
+    got = co_await AwaitWithTimeout(sim, f, 1000);
+    finished = true;
+  };
+  Spawn(coro());
+  sim.After(5000, [&]() {
+    if (!f.Ready()) {
+      f.Set(3);  // late value must be dropped
+    }
+  });
+  sim.Run();
+  EXPECT_TRUE(finished);
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(TaskTest, ExecuteChargesCpu) {
+  Simulator sim;
+  Machine m(sim, 0, 1, 0);
+  SimTime end = 0;
+  auto coro = [&]() -> Task<void> {
+    co_await m.thread(0).Execute(250);
+    co_await m.thread(0).Execute(250);
+    end = sim.Now();
+  };
+  Spawn(coro());
+  sim.Run();
+  EXPECT_EQ(end, 500u);
+  EXPECT_EQ(m.thread(0).total_busy(), 500u);
+}
+
+// NOTE: a coroutine lambda's captures live in the lambda *object*, not the
+// coroutine frame. A capturing lambda must therefore outlive its coroutine.
+// For loop-spawned coroutines, pass state as parameters instead.
+Task<void> SleepAndCount(Simulator& sim, int delay, int& counter) {
+  co_await SleepFor(sim, static_cast<SimDuration>(delay));
+  counter++;
+}
+
+TEST(TaskTest, ManyConcurrentCoroutines) {
+  Simulator sim;
+  int completed = 0;
+  for (int i = 0; i < 1000; i++) {
+    Spawn(SleepAndCount(sim, i % 17 + 1, completed));
+  }
+  sim.Run();
+  EXPECT_EQ(completed, 1000);
+}
+
+}  // namespace
+}  // namespace farm
