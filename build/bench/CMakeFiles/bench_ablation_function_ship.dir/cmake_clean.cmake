@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_function_ship.dir/bench_ablation_function_ship.cc.o"
+  "CMakeFiles/bench_ablation_function_ship.dir/bench_ablation_function_ship.cc.o.d"
+  "bench_ablation_function_ship"
+  "bench_ablation_function_ship.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_function_ship.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

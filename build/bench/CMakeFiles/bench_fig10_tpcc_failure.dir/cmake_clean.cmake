@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_tpcc_failure.dir/bench_fig10_tpcc_failure.cc.o"
+  "CMakeFiles/bench_fig10_tpcc_failure.dir/bench_fig10_tpcc_failure.cc.o.d"
+  "bench_fig10_tpcc_failure"
+  "bench_fig10_tpcc_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tpcc_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_15_recovery_pacing.dir/bench_fig14_15_recovery_pacing.cc.o"
+  "CMakeFiles/bench_fig14_15_recovery_pacing.dir/bench_fig14_15_recovery_pacing.cc.o.d"
+  "bench_fig14_15_recovery_pacing"
+  "bench_fig14_15_recovery_pacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_15_recovery_pacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

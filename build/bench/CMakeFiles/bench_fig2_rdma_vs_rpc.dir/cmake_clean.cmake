@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_rdma_vs_rpc.dir/bench_fig2_rdma_vs_rpc.cc.o"
+  "CMakeFiles/bench_fig2_rdma_vs_rpc.dir/bench_fig2_rdma_vs_rpc.cc.o.d"
+  "bench_fig2_rdma_vs_rpc"
+  "bench_fig2_rdma_vs_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_rdma_vs_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_tatp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_tatp_failure.dir/bench_fig9_tatp_failure.cc.o"
+  "CMakeFiles/bench_fig9_tatp_failure.dir/bench_fig9_tatp_failure.cc.o.d"
+  "bench_fig9_tatp_failure"
+  "bench_fig9_tatp_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_tatp_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_msgcount_ablation.cc" "bench/CMakeFiles/bench_msgcount_ablation.dir/bench_msgcount_ablation.cc.o" "gcc" "bench/CMakeFiles/bench_msgcount_ablation.dir/bench_msgcount_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/farm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/farm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/farm_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/farm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvram/CMakeFiles/farm_nvram.dir/DependInfo.cmake"
+  "/root/repo/build/src/zk/CMakeFiles/farm_zk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/farm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/farm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/farm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

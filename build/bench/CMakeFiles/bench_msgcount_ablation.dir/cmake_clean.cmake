@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msgcount_ablation.dir/bench_msgcount_ablation.cc.o"
+  "CMakeFiles/bench_msgcount_ablation.dir/bench_msgcount_ablation.cc.o.d"
+  "bench_msgcount_ablation"
+  "bench_msgcount_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msgcount_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_queue.dir/order_queue.cpp.o"
+  "CMakeFiles/order_queue.dir/order_queue.cpp.o.d"
+  "order_queue"
+  "order_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

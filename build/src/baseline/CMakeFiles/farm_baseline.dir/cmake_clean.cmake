@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_baseline.dir/local_occ.cc.o"
+  "CMakeFiles/farm_baseline.dir/local_occ.cc.o.d"
+  "CMakeFiles/farm_baseline.dir/twopc.cc.o"
+  "CMakeFiles/farm_baseline.dir/twopc.cc.o.d"
+  "libfarm_baseline.a"
+  "libfarm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

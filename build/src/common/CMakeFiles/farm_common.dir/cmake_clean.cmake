@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_common.dir/hash.cc.o"
+  "CMakeFiles/farm_common.dir/hash.cc.o.d"
+  "CMakeFiles/farm_common.dir/histogram.cc.o"
+  "CMakeFiles/farm_common.dir/histogram.cc.o.d"
+  "CMakeFiles/farm_common.dir/logging.cc.o"
+  "CMakeFiles/farm_common.dir/logging.cc.o.d"
+  "CMakeFiles/farm_common.dir/rand.cc.o"
+  "CMakeFiles/farm_common.dir/rand.cc.o.d"
+  "CMakeFiles/farm_common.dir/status.cc.o"
+  "CMakeFiles/farm_common.dir/status.cc.o.d"
+  "libfarm_common.a"
+  "libfarm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alloc.cc" "src/core/CMakeFiles/farm_core.dir/alloc.cc.o" "gcc" "src/core/CMakeFiles/farm_core.dir/alloc.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/farm_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/farm_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/cm.cc" "src/core/CMakeFiles/farm_core.dir/cm.cc.o" "gcc" "src/core/CMakeFiles/farm_core.dir/cm.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/farm_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/farm_core.dir/config.cc.o.d"
+  "/root/repo/src/core/data_recovery.cc" "src/core/CMakeFiles/farm_core.dir/data_recovery.cc.o" "gcc" "src/core/CMakeFiles/farm_core.dir/data_recovery.cc.o.d"
+  "/root/repo/src/core/lease.cc" "src/core/CMakeFiles/farm_core.dir/lease.cc.o" "gcc" "src/core/CMakeFiles/farm_core.dir/lease.cc.o.d"
+  "/root/repo/src/core/msgr.cc" "src/core/CMakeFiles/farm_core.dir/msgr.cc.o" "gcc" "src/core/CMakeFiles/farm_core.dir/msgr.cc.o.d"
+  "/root/repo/src/core/node.cc" "src/core/CMakeFiles/farm_core.dir/node.cc.o" "gcc" "src/core/CMakeFiles/farm_core.dir/node.cc.o.d"
+  "/root/repo/src/core/recovery.cc" "src/core/CMakeFiles/farm_core.dir/recovery.cc.o" "gcc" "src/core/CMakeFiles/farm_core.dir/recovery.cc.o.d"
+  "/root/repo/src/core/ringlog.cc" "src/core/CMakeFiles/farm_core.dir/ringlog.cc.o" "gcc" "src/core/CMakeFiles/farm_core.dir/ringlog.cc.o.d"
+  "/root/repo/src/core/tx.cc" "src/core/CMakeFiles/farm_core.dir/tx.cc.o" "gcc" "src/core/CMakeFiles/farm_core.dir/tx.cc.o.d"
+  "/root/repo/src/core/wire.cc" "src/core/CMakeFiles/farm_core.dir/wire.cc.o" "gcc" "src/core/CMakeFiles/farm_core.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/farm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvram/CMakeFiles/farm_nvram.dir/DependInfo.cmake"
+  "/root/repo/build/src/zk/CMakeFiles/farm_zk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/farm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/farm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_core.dir/alloc.cc.o"
+  "CMakeFiles/farm_core.dir/alloc.cc.o.d"
+  "CMakeFiles/farm_core.dir/cluster.cc.o"
+  "CMakeFiles/farm_core.dir/cluster.cc.o.d"
+  "CMakeFiles/farm_core.dir/cm.cc.o"
+  "CMakeFiles/farm_core.dir/cm.cc.o.d"
+  "CMakeFiles/farm_core.dir/config.cc.o"
+  "CMakeFiles/farm_core.dir/config.cc.o.d"
+  "CMakeFiles/farm_core.dir/data_recovery.cc.o"
+  "CMakeFiles/farm_core.dir/data_recovery.cc.o.d"
+  "CMakeFiles/farm_core.dir/lease.cc.o"
+  "CMakeFiles/farm_core.dir/lease.cc.o.d"
+  "CMakeFiles/farm_core.dir/msgr.cc.o"
+  "CMakeFiles/farm_core.dir/msgr.cc.o.d"
+  "CMakeFiles/farm_core.dir/node.cc.o"
+  "CMakeFiles/farm_core.dir/node.cc.o.d"
+  "CMakeFiles/farm_core.dir/recovery.cc.o"
+  "CMakeFiles/farm_core.dir/recovery.cc.o.d"
+  "CMakeFiles/farm_core.dir/ringlog.cc.o"
+  "CMakeFiles/farm_core.dir/ringlog.cc.o.d"
+  "CMakeFiles/farm_core.dir/tx.cc.o"
+  "CMakeFiles/farm_core.dir/tx.cc.o.d"
+  "CMakeFiles/farm_core.dir/wire.cc.o"
+  "CMakeFiles/farm_core.dir/wire.cc.o.d"
+  "libfarm_core.a"
+  "libfarm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_ds.dir/btree.cc.o"
+  "CMakeFiles/farm_ds.dir/btree.cc.o.d"
+  "CMakeFiles/farm_ds.dir/hashtable.cc.o"
+  "CMakeFiles/farm_ds.dir/hashtable.cc.o.d"
+  "libfarm_ds.a"
+  "libfarm_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_net.dir/fabric.cc.o"
+  "CMakeFiles/farm_net.dir/fabric.cc.o.d"
+  "libfarm_net.a"
+  "libfarm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

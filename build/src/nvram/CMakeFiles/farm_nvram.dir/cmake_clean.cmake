@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_nvram.dir/nvram.cc.o"
+  "CMakeFiles/farm_nvram.dir/nvram.cc.o.d"
+  "libfarm_nvram.a"
+  "libfarm_nvram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_nvram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_sim.dir/machine.cc.o"
+  "CMakeFiles/farm_sim.dir/machine.cc.o.d"
+  "libfarm_sim.a"
+  "libfarm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

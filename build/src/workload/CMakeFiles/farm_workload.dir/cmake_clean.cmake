@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_workload.dir/driver.cc.o"
+  "CMakeFiles/farm_workload.dir/driver.cc.o.d"
+  "CMakeFiles/farm_workload.dir/kv.cc.o"
+  "CMakeFiles/farm_workload.dir/kv.cc.o.d"
+  "CMakeFiles/farm_workload.dir/tatp.cc.o"
+  "CMakeFiles/farm_workload.dir/tatp.cc.o.d"
+  "CMakeFiles/farm_workload.dir/tpcc.cc.o"
+  "CMakeFiles/farm_workload.dir/tpcc.cc.o.d"
+  "libfarm_workload.a"
+  "libfarm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_zk.dir/coord.cc.o"
+  "CMakeFiles/farm_zk.dir/coord.cc.o.d"
+  "libfarm_zk.a"
+  "libfarm_zk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_zk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

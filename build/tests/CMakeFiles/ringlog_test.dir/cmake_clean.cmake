@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringlog_test.dir/ringlog_test.cc.o"
+  "CMakeFiles/ringlog_test.dir/ringlog_test.cc.o.d"
+  "ringlog_test"
+  "ringlog_test.pdb"
+  "ringlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
