@@ -191,7 +191,8 @@ void Run() {
 }  // namespace
 }  // namespace farm
 
-int main() {
+int main(int argc, char** argv) {
+  farm::bench::BenchEnv env(argc, argv);
   farm::Run();
   return 0;
 }

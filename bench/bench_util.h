@@ -8,14 +8,73 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 
 #include "src/core/cluster.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/workload/driver.h"
 
 namespace farm {
 namespace bench {
+
+// Per-bench observability flags, parsed from argv before farm::Run():
+//   --trace-out=<path>    write a Chrome trace-event JSON of the run
+//   --metrics-out=<path>  dump every cluster's metrics registry on teardown
+//   --trace-no-net        omit per-operation fabric events (smaller traces)
+// Construct one at the top of main(); the destructor writes the trace after
+// the bench body finishes. Unrecognized arguments are ignored, so benches
+// keep their zero-flag invocations.
+class BenchEnv {
+ public:
+  BenchEnv(int argc, char** argv) {
+    bool capture_net = true;
+    for (int i = 1; i < argc; i++) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+        trace_path_ = arg + 12;
+      } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+        metrics::SetDumpOnDestroy(arg + 14);
+      } else if (std::strcmp(arg, "--trace-no-net") == 0) {
+        capture_net = false;
+      }
+    }
+    if (!trace_path_.empty()) {
+      trace::Tracer::Options topts;
+      topts.capture_net = capture_net;
+      tracer_ = std::make_unique<trace::Tracer>(topts);
+      trace::SetGlobal(tracer_.get());
+    }
+  }
+
+  ~BenchEnv() {
+    // Cluster registries dump themselves on destruction; the process-wide
+    // default registry never dies, so flush it here (no-op without
+    // --metrics-out or when nothing registered in it).
+    if (metrics::Registry::Default().CellCount() > 0) {
+      metrics::AppendDump(metrics::Registry::Default(), "default registry");
+    }
+    if (tracer_ != nullptr) {
+      trace::SetGlobal(nullptr);
+      Status s = tracer_->WriteFile(trace_path_);
+      if (s.ok()) {
+        std::printf("trace: wrote %zu events to %s\n", tracer_->event_count(),
+                    trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "trace: %s\n", s.ToString().c_str());
+      }
+    }
+  }
+
+  BenchEnv(const BenchEnv&) = delete;
+  BenchEnv& operator=(const BenchEnv&) = delete;
+
+ private:
+  std::string trace_path_;
+  std::unique_ptr<trace::Tracer> tracer_;
+};
 
 inline ClusterOptions DefaultClusterOptions(int machines, uint64_t seed = 1) {
   ClusterOptions opts;

@@ -4,12 +4,39 @@
 
 namespace farm {
 
-LogLevel& GlobalLogLevel() {
-  static LogLevel level = LogLevel::kWarn;
-  return level;
-}
-
 namespace {
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("FARM_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') {
+    return LogLevel::kWarn;
+  }
+  if (env[0] >= '0' && env[0] <= '4' && env[1] == '\0') {
+    return static_cast<LogLevel>(env[0] - '0');
+  }
+  auto matches = [env](const char* name) {
+    for (int i = 0;; i++) {
+      char a = env[i];
+      char b = name[i];
+      if (a >= 'A' && a <= 'Z') {
+        a = static_cast<char>(a - 'A' + 'a');
+      }
+      if (a != b) {
+        return false;
+      }
+      if (a == '\0') {
+        return true;
+      }
+    }
+  };
+  if (matches("debug")) return LogLevel::kDebug;
+  if (matches("info")) return LogLevel::kInfo;
+  if (matches("warn")) return LogLevel::kWarn;
+  if (matches("error")) return LogLevel::kError;
+  if (matches("none")) return LogLevel::kNone;
+  std::fprintf(stderr, "[WARN] logging.cc:0 unrecognized FARM_LOG_LEVEL '%s', using warn\n", env);
+  return LogLevel::kWarn;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,10 +59,44 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+struct LogClock {
+  uint64_t (*now_ns)(void* ctx) = nullptr;
+  void* ctx = nullptr;
+  const void* owner = nullptr;
+};
+
+LogClock& Clock() {
+  static LogClock clock;
+  return clock;
+}
+
 }  // namespace
 
+LogLevel& GlobalLogLevel() {
+  static LogLevel level = LevelFromEnv();
+  return level;
+}
+
+void SetLogClock(uint64_t (*now_ns)(void* ctx), void* ctx, const void* owner) {
+  Clock() = LogClock{now_ns, ctx, owner};
+}
+
+void ClearLogClock(const void* owner) {
+  if (Clock().owner == owner) {
+    Clock() = LogClock{};
+  }
+}
+
 void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s:%d %s\n", LevelName(level), Basename(file), line, msg.c_str());
+  const LogClock& clock = Clock();
+  if (clock.now_ns != nullptr) {
+    uint64_t ns = clock.now_ns(clock.ctx);
+    std::fprintf(stderr, "[%s] t=%llu.%03lluus %s:%d %s\n", LevelName(level),
+                 static_cast<unsigned long long>(ns / 1000),
+                 static_cast<unsigned long long>(ns % 1000), Basename(file), line, msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s:%d %s\n", LevelName(level), Basename(file), line, msg.c_str());
+  }
 }
 
 }  // namespace farm

@@ -2,9 +2,17 @@
 
 namespace farm {
 
+namespace {
+
+uint64_t SimNowForLog(void* ctx) { return static_cast<Simulator*>(ctx)->Now(); }
+
+}  // namespace
+
 Cluster::Cluster(ClusterOptions options)
     : options_(std::move(options)), rng_(options_.seed) {
   fabric_ = std::make_unique<Fabric>(sim_, options_.cost);
+  fabric_->BindStats(registry_);
+  SetLogClock(&SimNowForLog, &sim_, this);
 
   int farm_machines = options_.machines;
   int total = farm_machines + options_.zk_replicas;
@@ -17,6 +25,30 @@ Cluster::Cluster(ClusterOptions options)
     stores_.push_back(std::make_unique<NvramStore>());
     fabric_->AddMachine(machines_.back().get(), stores_.back().get(),
                         options_.nics_per_machine);
+  }
+
+  // Trace setup: name one process per machine with one track per hardware
+  // thread, plus a "cluster" pseudo-process for global milestones.
+  if (trace::Tracer* tracer = trace::Global()) {
+    tracer->AttachClock(&sim_);
+    for (int i = 0; i < total; i++) {
+      bool is_farm = i < farm_machines;
+      uint32_t pid = static_cast<uint32_t>(i);
+      tracer->NameProcess(pid, (is_farm ? "machine " : "zk ") + std::to_string(i));
+      int threads = machines_[static_cast<size_t>(i)]->NumThreads();
+      for (int t = 0; t < threads; t++) {
+        std::string tname;
+        if (!is_farm) {
+          tname = "zk " + std::to_string(t);
+        } else if (t == threads - 1) {
+          tname = "lease";
+        } else {
+          tname = "worker " + std::to_string(t);
+        }
+        tracer->NameThread(pid, static_cast<uint32_t>(t), tname);
+      }
+    }
+    tracer->NameProcess(static_cast<uint32_t>(total), "cluster");
   }
 
   std::vector<MachineId> zk_ids;
@@ -39,7 +71,14 @@ Cluster::Cluster(ClusterOptions options)
   }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  ClearLogClock(this);
+  // The tracer outlives the cluster; detach so it cannot stamp events with a
+  // dead simulator.
+  if (trace::Tracer* tracer = trace::Global()) {
+    tracer->AttachClock(nullptr);
+  }
+}
 
 int Cluster::FailureDomainOf(MachineId m) const {
   if (options_.failure_domains > 0) {

@@ -15,6 +15,8 @@
 #include "src/core/node.h"
 #include "src/net/fabric.h"
 #include "src/nvram/nvram.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/zk/coord.h"
 
@@ -48,6 +50,9 @@ class Cluster {
   CoordinationService& zk() { return *zk_; }
   Pcg32& rng() { return rng_; }
   const ClusterOptions& options() const { return options_; }
+  // Per-cluster metric cells (node + fabric counters bind here), so
+  // sequential clusters in one process do not bleed counts into each other.
+  metrics::Registry& metrics_registry() { return registry_; }
 
   int num_machines() const { return options_.machines; }
   Node& node(MachineId m) { return *nodes_[m]; }
@@ -70,7 +75,12 @@ class Cluster {
   // ---- global observability ----
   // Recovery milestones (the annotations in figures 9-11): "suspect",
   // "probe", "zookeeper", "config-commit", "all-active", "data-rec-start".
-  void NoteMilestone(const char* name) { milestones_.push_back({name, sim_.Now()}); }
+  void NoteMilestone(const char* name) {
+    milestones_.push_back({name, sim_.Now()});
+    // Milestones land on the pseudo-process one past the last machine
+    // (named "cluster" in the trace) so they are visible as a global track.
+    FARM_TRACE(Instant(static_cast<uint32_t>(machines_.size()), 0, "milestone", name));
+  }
   const std::vector<std::pair<std::string, SimTime>>& milestones() const { return milestones_; }
   void ClearMilestones() { milestones_.clear(); }
   // Last occurrence of a milestone at/after `from` (kSimTimeNever if none).
@@ -95,6 +105,9 @@ class Cluster {
 
  private:
   ClusterOptions options_;
+  // Declared before nodes/fabric so its dump-on-destroy (when enabled) runs
+  // after every handle has recorded its final increments.
+  metrics::Registry registry_;
   Simulator sim_;
   Pcg32 rng_;
   std::unique_ptr<Fabric> fabric_;

@@ -4,6 +4,7 @@
 
 #include "src/core/cluster.h"
 #include "src/core/node.h"
+#include "src/obs/trace.h"
 
 namespace farm {
 
@@ -231,6 +232,7 @@ void Node::StartReconfiguration(std::vector<MachineId> suspects, const char* rea
   }
   FARM_LOG(Info) << "node " << id() << " starts reconfiguration (" << reason << ")";
   cluster_->NoteMilestone("suspect");
+  FARM_TRACE(Instant(static_cast<uint32_t>(id()), 0, "recovery", "suspect"));
   reconfig_in_flight_ = true;
   RunReconfiguration(std::move(suspects));
 }
@@ -340,6 +342,11 @@ void Node::RemapRegions(Configuration& cfg) const {
 
 Detached Node::RunReconfiguration(std::vector<MachineId> suspects) {
   Configuration old = config_;
+  const uint32_t trace_pid = static_cast<uint32_t>(id());
+  trace::SpanGuard reconfig_span(
+      trace_pid, 0, "recovery", "reconfiguration",
+      FARM_TRACE_ACTIVE() ? "cfg" + std::to_string(old.id + 1) : std::string());
+  SimTime step_start = FARM_TRACE_ACTIVE() ? sim().Now() : 0;
   // Step 2: probe all machines (one-sided read of their control block);
   // any machine whose read fails is also suspected.
   std::vector<MachineId> responders;
@@ -367,6 +374,8 @@ Detached Node::RunReconfiguration(std::vector<MachineId> suspects) {
     }
   }
   cluster_->NoteMilestone("probe");
+  FARM_TRACE(CompleteSpan(trace_pid, 0, "recovery", "probe", step_start));
+  step_start = FARM_TRACE_ACTIVE() ? sim().Now() : 0;
   // The new CM must obtain responses for a majority of the probes, which
   // guarantees it is not in a minority partition.
   if (responders.size() <= old.machines.size() / 2) {
@@ -396,6 +405,7 @@ Detached Node::RunReconfiguration(std::vector<MachineId> suspects) {
   auto cas = co_await cluster_->zk().CompareAndSwap(id(), old.id, next.Serialize(), nullptr);
   if (cas.ok()) {
     cluster_->NoteMilestone("zookeeper");
+    FARM_TRACE(CompleteSpan(trace_pid, 0, "recovery", "new-config-cas", step_start));
   }
   if (!cas.ok()) {
     FARM_LOG(Info) << "node " << id() << ": lost configuration CAS for id " << next.id;
@@ -404,6 +414,7 @@ Detached Node::RunReconfiguration(std::vector<MachineId> suspects) {
   }
 
   // Step 5: NEW-CONFIG to all members.
+  step_start = FARM_TRACE_ACTIVE() ? sim().Now() : 0;
   pending_reconfig_ = PendingReconfig{};
   pending_reconfig_->cfg = next;
   for (MachineId m : next.machines) {
@@ -448,6 +459,7 @@ Detached Node::RunReconfiguration(std::vector<MachineId> suspects) {
     co_await SleepFor(sim(), options_.lease.duration);
   }
   cluster_->NoteMilestone("config-commit");
+  FARM_TRACE(CompleteSpan(trace_pid, 0, "recovery", "new-config-commit", step_start));
   for (MachineId m : next.machines) {
     if (m != id()) {
       BufWriter w;

@@ -8,6 +8,7 @@
 
 #include "src/core/cluster.h"
 #include "src/core/node.h"
+#include "src/obs/trace.h"
 
 namespace farm {
 
@@ -39,6 +40,9 @@ void Node::OnAllRegionsActive() {
 }
 
 Detached Node::ReplicateRegionFrom(RegionId region, MachineId primary) {
+  trace::SpanGuard rerep_span(
+      static_cast<uint32_t>(id()), 0, "recovery", "re-replication",
+      FARM_TRACE_ACTIVE() ? "r" + std::to_string(region) : std::string());
   RegionReplica* rep = replica(region);
   const RegionPlacement* placement = config_.Placement(region);
   if (rep == nullptr || placement == nullptr) {
@@ -161,6 +165,9 @@ void Node::ApplyRecoveredBlock(RegionId region, uint32_t offset,
 }
 
 Detached Node::RunAllocatorRecovery(RegionId region) {
+  trace::SpanGuard alloc_rec_span(
+      static_cast<uint32_t>(id()), 0, "recovery", "allocator-recovery",
+      FARM_TRACE_ACTIVE() ? "r" + std::to_string(region) : std::string());
   RegionAllocator* alloc = allocator(region);
   if (alloc == nullptr) {
     co_return;

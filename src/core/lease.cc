@@ -2,6 +2,7 @@
 
 #include "src/core/cluster.h"
 #include "src/core/node.h"
+#include "src/obs/trace.h"
 
 namespace farm {
 
@@ -182,6 +183,9 @@ void LeaseManager::CheckExpiries() {
     }
     expiry_events_++;
     expiry = now + options_.duration;  // re-arm so one failure counts once per period
+    FARM_TRACE(Instant(static_cast<uint32_t>(node_->id()),
+                       static_cast<uint32_t>(node_->machine().NumThreads() - 1), "recovery",
+                       "lease-expired"));
     if (!options_.trigger_recovery) {
       continue;
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/cluster.h"
+#include "src/obs/trace.h"
 
 namespace farm {
 
@@ -16,11 +17,26 @@ constexpr SimDuration kBlockedRegionPollInterval = 500 * kMicrosecond;
 
 }  // namespace
 
+void NodeStats::BindTo(metrics::Registry& reg, const std::string& node_label) {
+  metrics::Labels labels = {{"node", node_label}};
+  tx_committed = reg.GetCounter("tx_committed", labels);
+  tx_aborted_lock = reg.GetCounter("tx_aborted_lock", labels);
+  tx_aborted_validate = reg.GetCounter("tx_aborted_validate", labels);
+  tx_unresolved = reg.GetCounter("tx_unresolved", labels);
+  tx_recovered_commit = reg.GetCounter("tx_recovered_commit", labels);
+  tx_recovered_abort = reg.GetCounter("tx_recovered_abort", labels);
+  lockfree_reads = reg.GetCounter("lockfree_reads", labels);
+  recovering_txs_seen = reg.GetCounter("recovering_txs_seen", labels);
+  regions_rereplicated = reg.GetCounter("regions_rereplicated", labels);
+  reconfigurations = reg.GetCounter("reconfigurations", labels);
+}
+
 Node::Node(Cluster* cluster, Machine* machine, NvramStore* store, NodeOptions options)
     : cluster_(cluster), machine_(machine), store_(store), options_(options) {
   // Worker threads + one dedicated lease-manager thread (section 5.1).
   FARM_CHECK(machine_->NumThreads() == options_.worker_threads + 1)
       << "machine must have worker_threads + 1 hardware threads";
+  stats_.BindTo(cluster_->metrics_registry(), "m" + std::to_string(machine_->id()));
   options_.msgr.worker_threads = options_.worker_threads;
   messenger_ = std::make_unique<Messenger>(fabric(), *machine_, *store_, options_.msgr);
   messenger_->SetHandlers(
@@ -284,6 +300,7 @@ void Node::RegisterInflight(Transaction* tx) { inflight_[tx->id()] = tx; }
 void Node::UnregisterInflight(const TxId& id) { inflight_.erase(id); }
 
 void Node::QueueTruncation(const TxId& tx_id, const std::vector<MachineId>& holders) {
+  FARM_TRACE(Instant(static_cast<uint32_t>(id()), 0, "tx", "truncate"));
   for (MachineId m : holders) {
     pending_truncations_[m].push_back(tx_id);
   }

@@ -36,6 +36,7 @@
 #include "src/core/wire.h"
 #include "src/net/fabric.h"
 #include "src/nvram/nvram.h"
+#include "src/obs/metrics.h"
 #include "src/sim/task.h"
 #include "src/zk/coord.h"
 
@@ -66,17 +67,24 @@ struct NodeOptions {
   int backup_cms = 2;                        // k backup CMs (CM successors)
 };
 
+// Per-node counters, backed by metrics cells. Copying a NodeStats snapshots
+// the current values into detached cells, so aggregation code like
+// Cluster::TotalStats and point-in-time comparisons keep value semantics.
 struct NodeStats {
-  uint64_t tx_committed = 0;
-  uint64_t tx_aborted_lock = 0;
-  uint64_t tx_aborted_validate = 0;
-  uint64_t tx_unresolved = 0;      // gave up waiting (failures)
-  uint64_t tx_recovered_commit = 0;
-  uint64_t tx_recovered_abort = 0;
-  uint64_t lockfree_reads = 0;
-  uint64_t recovering_txs_seen = 0;   // counted at vote coordinators
-  uint64_t regions_rereplicated = 0;
-  uint64_t reconfigurations = 0;
+  metrics::Counter tx_committed;
+  metrics::Counter tx_aborted_lock;
+  metrics::Counter tx_aborted_validate;
+  metrics::Counter tx_unresolved;      // gave up waiting (failures)
+  metrics::Counter tx_recovered_commit;
+  metrics::Counter tx_recovered_abort;
+  metrics::Counter lockfree_reads;
+  metrics::Counter recovering_txs_seen;   // counted at vote coordinators
+  metrics::Counter regions_rereplicated;
+  metrics::Counter reconfigurations;
+
+  // Rebinds every field to labeled cells in `reg` (e.g. tx_committed{node="m3"}),
+  // so the registry dump breaks counts down per node.
+  void BindTo(metrics::Registry& reg, const std::string& node_label);
 };
 
 class Node {

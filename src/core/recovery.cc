@@ -4,6 +4,7 @@
 
 #include "src/core/cluster.h"
 #include "src/core/node.h"
+#include "src/obs/trace.h"
 
 namespace farm {
 
@@ -153,6 +154,7 @@ void Node::OnNewConfigCommit(ConfigId cid) {
 }
 
 void Node::BeginTransactionStateRecovery() {
+  FARM_TRACE(Instant(static_cast<uint32_t>(id()), 0, "recovery", "tx-state-recovery"));
   // Step 2: drain logs. Everything already delivered to our rings is
   // processed now; LastDrained is persisted to the control block that
   // reconfiguration probes read.
@@ -374,6 +376,9 @@ void Node::MaybeStartLockRecovery(RegionId region) {
 }
 
 Detached Node::FinishLockRecovery(RegionId region) {
+  trace::SpanGuard lock_rec_span(
+      static_cast<uint32_t>(id()), 0, "recovery", "lock-recovery",
+      FARM_TRACE_ACTIVE() ? "r" + std::to_string(region) : std::string());
   auto rit = region_recovery_.find(region);
   if (rit == region_recovery_.end()) {
     co_return;
@@ -824,6 +829,8 @@ void Node::Decide(const TxId& tid, bool commit) {
   d.decided = true;
   d.committed = commit;
   vote_timers_.erase(tid);
+  FARM_TRACE(Instant(static_cast<uint32_t>(id()), 0, "recovery",
+                     commit ? "decide-commit" : "decide-abort"));
 
   std::set<MachineId> replicas;
   for (RegionId r : d.regions) {

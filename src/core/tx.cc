@@ -4,12 +4,18 @@
 
 #include "src/core/cluster.h"
 #include "src/core/node.h"
+#include "src/obs/trace.h"
 
 namespace farm {
 
 namespace {
 
 constexpr size_t kMaxPiggyback = 8;
+
+// Span id for async tx spans; only pay for the string when tracing is on.
+std::string TxTraceId(const TxId& id) {
+  return FARM_TRACE_ACTIVE() ? id.ToString() : std::string();
+}
 
 // Reservation size for small records (COMMIT-PRIMARY / ABORT) with room for
 // piggybacked truncation ids.
@@ -52,6 +58,7 @@ Task<StatusOr<std::vector<uint8_t>>> Transaction::Read(GlobalAddr addr, uint32_t
     co_return rit->second.value;
   }
 
+  const SimTime read_start = FARM_TRACE_ACTIVE() ? node_->sim().Now() : 0;
   auto ref = co_await node_->ResolveRef(addr.region, thread_);
   if (!ref.ok()) {
     co_return ref.status();
@@ -90,6 +97,8 @@ Task<StatusOr<std::vector<uint8_t>>> Transaction::Read(GlobalAddr addr, uint32_t
   entry.value = value;
   entry.read_from = ref->primary;
   reads_[addr] = std::move(entry);
+  FARM_TRACE(CompleteSpan(static_cast<uint32_t>(node_->id()), static_cast<uint32_t>(thread_),
+                          "tx", "read", read_start));
   co_return value;
 }
 
@@ -304,6 +313,10 @@ Task<Status> Transaction::Commit() {
   node_->RegisterInflight(this);
   registered_ = true;
 
+  const uint32_t trace_pid = static_cast<uint32_t>(node_->id());
+  const uint32_t trace_tid = static_cast<uint32_t>(thread_);
+  trace::SpanGuard commit_span(trace_pid, trace_tid, "tx", "commit", TxTraceId(id_));
+
   co_await node_->worker(thread_).Execute(cost.cpu_tx_commit_setup);
 
   if (writes_.empty()) {
@@ -344,61 +357,68 @@ Task<Status> Transaction::Commit() {
   }
 
   // ---- Phase 1: LOCK ----
-  lock_replies_pending_ = static_cast<int>(p.primary_writes.size());
-  lock_all_ok_ = true;
-  for (const auto& [m, writes] : p.primary_writes) {
-    TxLogRecord rec = MakeRecord(LogRecordType::kLock, m, &writes, p.written_regions);
-    uint32_t reserved = static_cast<uint32_t>(rec.SerializedSize() +
-                                              (kMaxPiggyback - rec.truncate_ids.size()) * 22);
-    (void)node_->messenger().AppendLog(m, rec, reserved, thread_);
-  }
-  // NSDI'14-protocol ablation: LOCK records also go to backups (and are
-  // simply stored); the optimized protocol eliminates them.
-  if (opts.backup_lock_records) {
-    for (const auto& [m, writes] : p.backup_writes) {
+  {
+    trace::SpanGuard lock_span(trace_pid, trace_tid, "tx", "lock", TxTraceId(id_));
+    lock_replies_pending_ = static_cast<int>(p.primary_writes.size());
+    lock_all_ok_ = true;
+    for (const auto& [m, writes] : p.primary_writes) {
       TxLogRecord rec = MakeRecord(LogRecordType::kLock, m, &writes, p.written_regions);
-      uint32_t len = static_cast<uint32_t>(rec.SerializedSize());
-      if (node_->messenger().ReserveLog(m, len)) {
-        (void)node_->messenger().AppendLog(m, rec, len, thread_);
+      uint32_t reserved = static_cast<uint32_t>(rec.SerializedSize() +
+                                                (kMaxPiggyback - rec.truncate_ids.size()) * 22);
+      (void)node_->messenger().AppendLog(m, rec, reserved, thread_);
+    }
+    // NSDI'14-protocol ablation: LOCK records also go to backups (and are
+    // simply stored); the optimized protocol eliminates them.
+    if (opts.backup_lock_records) {
+      for (const auto& [m, writes] : p.backup_writes) {
+        TxLogRecord rec = MakeRecord(LogRecordType::kLock, m, &writes, p.written_regions);
+        uint32_t len = static_cast<uint32_t>(rec.SerializedSize());
+        if (node_->messenger().ReserveLog(m, len)) {
+          (void)node_->messenger().AppendLog(m, rec, len, thread_);
+        }
       }
+    }
+
+    bool woke = co_await AwaitPhase();
+    if (recovery_resolution_.has_value()) {
+      co_return FinishFromRecovery();
+    }
+    if (!woke) {
+      node_->mutable_stats().tx_unresolved++;
+      node_->UnregisterInflight(id_);
+      registered_ = false;
+      co_return UnavailableStatus("commit unresolved: lock phase");
+    }
+    if (!lock_all_ok_) {
+      AbortParticipants(p);
+      ReleaseAllocs();
+      node_->UnregisterInflight(id_);
+      registered_ = false;
+      node_->mutable_stats().tx_aborted_lock++;
+      co_return AbortedStatus("lock conflict");
     }
   }
 
-  bool woke = co_await AwaitPhase();
-  if (recovery_resolution_.has_value()) {
-    co_return FinishFromRecovery();
-  }
-  if (!woke) {
-    node_->mutable_stats().tx_unresolved++;
-    node_->UnregisterInflight(id_);
-    registered_ = false;
-    co_return UnavailableStatus("commit unresolved: lock phase");
-  }
-  if (!lock_all_ok_) {
-    AbortParticipants(p);
-    ReleaseAllocs();
-    node_->UnregisterInflight(id_);
-    registered_ = false;
-    node_->mutable_stats().tx_aborted_lock++;
-    co_return AbortedStatus("lock conflict");
-  }
-
   // ---- Phase 2: VALIDATE (one-sided reads; RPC above threshold t_r) ----
-  Status v = co_await ValidatePhase();
-  if (recovery_resolution_.has_value()) {
-    co_return FinishFromRecovery();
-  }
-  if (!v.ok()) {
-    AbortParticipants(p);
-    ReleaseAllocs();
-    node_->UnregisterInflight(id_);
-    registered_ = false;
-    node_->mutable_stats().tx_aborted_validate++;
-    co_return v;
+  {
+    trace::SpanGuard validate_span(trace_pid, trace_tid, "tx", "validate", TxTraceId(id_));
+    Status v = co_await ValidatePhase();
+    if (recovery_resolution_.has_value()) {
+      co_return FinishFromRecovery();
+    }
+    if (!v.ok()) {
+      AbortParticipants(p);
+      ReleaseAllocs();
+      node_->UnregisterInflight(id_);
+      registered_ = false;
+      node_->mutable_stats().tx_aborted_validate++;
+      co_return v;
+    }
   }
 
   // ---- Phase 3: COMMIT-BACKUP (one-sided writes; wait for NIC acks) ----
   {
+    trace::SpanGuard cb_span(trace_pid, trace_tid, "tx", "commit-backup", TxTraceId(id_));
     WaitGroup wg;
     auto all_ok = std::make_shared<bool>(true);
     for (const auto& [m, writes] : p.backup_writes) {
@@ -450,6 +470,7 @@ Task<Status> Transaction::Commit() {
 
   // ---- Phase 4: COMMIT-PRIMARY (report committed on the first ack) ----
   {
+    trace::SpanGuard cp_span(trace_pid, trace_tid, "tx", "commit-primary", TxTraceId(id_));
     struct CpState {
       int pending = 0;
       bool any_ok = false;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/obs/trace.h"
+
 namespace farm {
 
 namespace {
@@ -11,7 +13,51 @@ constexpr uint32_t kVerbHeaderBytes = 32;
 constexpr uint32_t kCasResponseBytes = 8;
 constexpr uint32_t kAckBytes = 8;
 
+// Per-op instant on the initiator's track plus the cumulative byte counter
+// for the op's transport (counter_name may be null for datagrams).
+// High-volume, so double-gated: global tracer present AND capture_net on.
+void TraceOp(const char* name, MachineId src, HwThread* thread, const char* counter_name,
+             uint64_t counter_value) {
+#ifndef FARM_TRACE_DISABLED
+  trace::Tracer* tracer = trace::Global();
+  if (tracer == nullptr || !tracer->capture_net()) {
+    return;
+  }
+  tracer->Instant(static_cast<uint32_t>(src), thread != nullptr ? static_cast<uint32_t>(thread->index()) : 0,
+                  "net", name);
+  if (counter_name != nullptr) {
+    tracer->CounterValue(static_cast<uint32_t>(src), counter_name, counter_value);
+  }
+#else
+  (void)name;
+  (void)src;
+  (void)thread;
+  (void)counter_name;
+  (void)counter_value;
+#endif
+}
+
 }  // namespace
+
+void FabricStats::BindTo(metrics::Registry& reg) {
+  rdma_reads = reg.GetCounter("fabric_rdma_reads");
+  rdma_writes = reg.GetCounter("fabric_rdma_writes");
+  rdma_cas = reg.GetCounter("fabric_rdma_cas");
+  rpcs = reg.GetCounter("fabric_rpcs");
+  datagrams = reg.GetCounter("fabric_datagrams");
+  rdma_bytes = reg.GetCounter("fabric_rdma_bytes");
+  rpc_bytes = reg.GetCounter("fabric_rpc_bytes");
+}
+
+void FabricStats::Reset() {
+  rdma_reads.Reset();
+  rdma_writes.Reset();
+  rdma_cas.Reset();
+  rpcs.Reset();
+  datagrams.Reset();
+  rdma_bytes.Reset();
+  rpc_bytes.Reset();
+}
 
 void Fabric::AddMachine(Machine* machine, RdmaMemory* memory, int num_nics) {
   MachineId id = machine->id();
@@ -77,6 +123,7 @@ Future<NetResult> Fabric::Read(MachineId src, MachineId dst, uint64_t addr, uint
                                HwThread* thread) {
   stats_.rdma_reads++;
   stats_.rdma_bytes += len;
+  TraceOp("rdma_read", src, thread, "rdma_bytes", stats_.rdma_bytes);
   return OneSided(Verb::kRead, src, dst, addr, len, {}, 0, 0, thread);
 }
 
@@ -85,6 +132,7 @@ Future<NetResult> Fabric::Write(MachineId src, MachineId dst, uint64_t addr,
                                 std::function<void()> on_delivered) {
   stats_.rdma_writes++;
   stats_.rdma_bytes += data.size();
+  TraceOp("rdma_write", src, thread, "rdma_bytes", stats_.rdma_bytes);
   return OneSided(Verb::kWrite, src, dst, addr, static_cast<uint32_t>(data.size()),
                   std::move(data), 0, 0, thread, std::move(on_delivered));
 }
@@ -93,6 +141,7 @@ Future<NetResult> Fabric::Cas(MachineId src, MachineId dst, uint64_t addr, uint6
                               uint64_t desired, HwThread* thread) {
   stats_.rdma_cas++;
   stats_.rdma_bytes += 16;
+  TraceOp("rdma_cas", src, thread, "rdma_bytes", stats_.rdma_bytes);
   return OneSided(Verb::kCas, src, dst, addr, 8, {}, expected, desired, thread);
 }
 
@@ -210,6 +259,7 @@ Future<NetResult> Fabric::Call(MachineId src, MachineId dst, uint16_t service,
                                SimDuration timeout) {
   stats_.rpcs++;
   stats_.rpc_bytes += request.size();
+  TraceOp("rpc", src, thread, "rpc_bytes", stats_.rpc_bytes);
   Future<NetResult> done;
   auto decided = std::make_shared<bool>(false);
   auto complete = [this, done, decided, thread, src](NetResult r) {
@@ -304,6 +354,7 @@ void Fabric::SetDatagramHandler(MachineId m, DatagramHandler handler) {
 void Fabric::SendDatagram(MachineId src, MachineId dst, std::vector<uint8_t> payload,
                           bool bypass_nic_queue) {
   stats_.datagrams++;
+  TraceOp("datagram", src, nullptr, nullptr, 0);
   if (!IsAlive(src) || !Reachable(src, dst) || !IsAlive(dst)) {
     return;
   }

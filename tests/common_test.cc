@@ -193,6 +193,65 @@ TEST(HistogramTest, LargeValues) {
   EXPECT_NEAR(static_cast<double>(h.Percentile(50)), static_cast<double>(big), 0.02 * static_cast<double>(big));
 }
 
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Percentile(100), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(4242);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 4242u);
+  EXPECT_EQ(h.max(), 4242u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 4242.0);
+  // Every percentile of a single-value distribution is that value
+  // (to within log-bucket precision).
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_NEAR(static_cast<double>(h.Percentile(p)), 4242.0, 0.02 * 4242.0);
+  }
+}
+
+TEST(HistogramTest, MergeDisjointRanges) {
+  Histogram low;
+  Histogram high;
+  for (uint64_t v = 1; v <= 1000; v++) {
+    low.Record(v);
+  }
+  for (uint64_t v = 1'000'000; v < 1'001'000; v++) {
+    high.Record(v);
+  }
+  low.Merge(high);
+  EXPECT_EQ(low.count(), 2000u);
+  EXPECT_EQ(low.min(), 1u);
+  EXPECT_EQ(low.max(), 1'000'999u);
+  // Half the mass is below 1000, half at ~1e6: p25 in the low range, p75 high.
+  EXPECT_LT(low.Percentile(25), 2000u);
+  EXPECT_GT(low.Percentile(75), 900'000u);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(100);
+  h.Record(200);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  // Recording after Reset starts from scratch.
+  h.Record(7);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 7u);
+  EXPECT_EQ(h.max(), 7u);
+}
+
 TEST(TimeSeriesTest, BucketsByInterval) {
   TimeSeries ts(1000);
   ts.Record(0);
@@ -204,6 +263,23 @@ TEST(TimeSeriesTest, BucketsByInterval) {
   EXPECT_EQ(ts.intervals()[1], 1u);
   EXPECT_EQ(ts.intervals()[2], 3u);
   EXPECT_DOUBLE_EQ(ts.AverageRate(0, 2000), 1.5);
+}
+
+TEST(TimeSeriesTest, AverageRatePartialIntervals) {
+  TimeSeries ts(1000);
+  ts.Record(500, 2);   // bucket 0
+  ts.Record(1500, 4);  // bucket 1
+  ts.Record(2500, 6);  // bucket 2
+  // A partial trailing interval is excluded: [0, 1500) covers only bucket 0.
+  EXPECT_DOUBLE_EQ(ts.AverageRate(0, 1500), 2.0);
+  // A partial leading interval still counts its full bucket.
+  EXPECT_DOUBLE_EQ(ts.AverageRate(500, 2000), 3.0);
+  // A window inside one interval spans no complete interval: rate 0.
+  EXPECT_DOUBLE_EQ(ts.AverageRate(500, 999), 0.0);
+  // A window entirely past the recorded data: rate 0.
+  EXPECT_DOUBLE_EQ(ts.AverageRate(5000, 10000), 0.0);
+  // Exact interval boundaries cover all three buckets.
+  EXPECT_DOUBLE_EQ(ts.AverageRate(0, 3000), 4.0);
 }
 
 TEST(SerdeTest, RoundTrip) {

@@ -1,0 +1,198 @@
+// Tests for the observability subsystem (src/obs): metrics registry
+// semantics and trace determinism.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "tests/test_util.h"
+
+namespace farm {
+namespace {
+
+TEST(CellKeyTest, SortsLabelsAndFormats) {
+  EXPECT_EQ(metrics::CellKey("tx_committed", {}), "tx_committed");
+  EXPECT_EQ(metrics::CellKey("tx_committed", {{"node", "m3"}}),
+            "tx_committed{node=\"m3\"}");
+  // Label order does not matter: keys are sorted.
+  EXPECT_EQ(metrics::CellKey("x", {{"b", "2"}, {"a", "1"}}),
+            metrics::CellKey("x", {{"a", "1"}, {"b", "2"}}));
+  EXPECT_EQ(metrics::CellKey("x", {{"b", "2"}, {"a", "1"}}), "x{a=\"1\",b=\"2\"}");
+}
+
+TEST(RegistryTest, LookupSharesCellAcrossLabelOrder) {
+  metrics::Registry reg;
+  metrics::Counter a = reg.GetCounter("ops", {{"node", "m0"}, {"kind", "read"}});
+  metrics::Counter b = reg.GetCounter("ops", {{"kind", "read"}, {"node", "m0"}});
+  a.Inc(5);
+  EXPECT_EQ(b.value(), 5u);  // same cell, despite different label order
+  EXPECT_EQ(reg.CellCount(), 1u);
+
+  metrics::Counter c = reg.GetCounter("ops", {{"kind", "write"}, {"node", "m0"}});
+  c.Inc();
+  EXPECT_EQ(a.value(), 5u);  // different label set, different cell
+  EXPECT_EQ(reg.CellCount(), 2u);
+}
+
+TEST(RegistryTest, CounterCopySnapshotsMoveBinds) {
+  metrics::Registry reg;
+  metrics::Counter bound = reg.GetCounter("n");  // lookup returns by value: move-bound
+  bound.Inc(3);
+  EXPECT_EQ(reg.GetCounter("n").value(), 3u);
+
+  // Copying snapshots the value into a detached cell.
+  metrics::Counter snap = bound;
+  bound.Inc(4);
+  EXPECT_EQ(snap.value(), 3u);
+  EXPECT_EQ(bound.value(), 7u);
+  snap.Inc();  // mutating the snapshot does not touch the registry
+  EXPECT_EQ(reg.GetCounter("n").value(), 7u);
+
+  // Reset zeroes in place, keeping the binding.
+  bound.Reset();
+  EXPECT_EQ(reg.GetCounter("n").value(), 0u);
+  bound.Inc();
+  EXPECT_EQ(reg.GetCounter("n").value(), 1u);
+}
+
+TEST(RegistryTest, CounterOperators) {
+  metrics::Registry reg;
+  metrics::Counter c = reg.GetCounter("c");
+  ++c;
+  c++;
+  c += 10;
+  uint64_t v = c;  // implicit conversion, as the migrated stats structs use
+  EXPECT_EQ(v, 12u);
+}
+
+TEST(RegistryTest, GaugeAndHistogram) {
+  metrics::Registry reg;
+  metrics::Gauge g = reg.GetGauge("depth");
+  g.Set(5);
+  g.Add(-8);
+  EXPECT_EQ(g.value(), -3);
+
+  metrics::HistogramMetric h = reg.GetHistogram("latency");
+  h.Record(100);
+  h.Record(200);
+  EXPECT_EQ(reg.GetHistogram("latency").histogram().count(), 2u);
+  EXPECT_EQ(reg.CellCount(), 2u);
+}
+
+TEST(RegistryTest, SnapshotDiff) {
+  metrics::Registry reg;
+  metrics::Counter c = reg.GetCounter("tx", {{"node", "m0"}});
+  metrics::Gauge g = reg.GetGauge("backlog");
+  c.Inc(10);
+  g.Set(4);
+
+  metrics::Snapshot before = reg.TakeSnapshot();
+  c.Inc(7);
+  g.Set(1);
+  metrics::Counter fresh = reg.GetCounter("aborts");  // created after `before`
+  fresh.Inc(2);
+  metrics::Snapshot after = reg.TakeSnapshot();
+
+  metrics::Snapshot d = metrics::Snapshot::Diff(after, before);
+  EXPECT_EQ(d.counters.at("tx{node=\"m0\"}"), 7u);
+  EXPECT_EQ(d.counters.at("aborts"), 2u);  // absent from `before`: counts from 0
+  EXPECT_EQ(d.gauges.at("backlog"), -3);   // gauges diff signed
+}
+
+TEST(RegistryTest, ResetKeepsRegistrations) {
+  metrics::Registry reg;
+  metrics::Counter c = reg.GetCounter("c");
+  c.Inc(9);
+  reg.Reset();
+  EXPECT_EQ(reg.CellCount(), 1u);
+  EXPECT_EQ(c.value(), 0u);  // the handle stays bound to the zeroed cell
+  c.Inc();
+  EXPECT_EQ(reg.GetCounter("c").value(), 1u);
+}
+
+TEST(RegistryTest, DumpsContainCells) {
+  metrics::Registry reg;
+  reg.GetCounter("hits", {{"node", "m1"}}).Inc(3);
+  std::string text = reg.ToText();
+  EXPECT_NE(text.find("hits{node=\"m1\"} 3"), std::string::npos);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"hits{node=\\\"m1\\\"}\":3"), std::string::npos);
+}
+
+TEST(TraceTest, MacroIsNullSafeWithoutGlobalTracer) {
+  ASSERT_EQ(trace::Global(), nullptr);
+  EXPECT_FALSE(FARM_TRACE_ACTIVE());
+  FARM_TRACE(Instant(0, 0, "tx", "noop"));  // no tracer installed: no-op
+  { trace::SpanGuard guard(0, 0, "tx", "noop", "id"); }
+}
+
+// Runs a fixed workload on a seeded cluster with a tracer installed and
+// returns the serialized trace.
+std::string TracedRunJson(uint64_t seed) {
+  trace::Tracer tracer;
+  trace::SetGlobal(&tracer);
+  {
+    auto cluster = MakeStartedCluster(SmallClusterOptions(4, seed));
+    RegionId rid = MustCreateRegion(*cluster, 64 << 10, 16);
+    auto work = [](Cluster* c, RegionId r) -> Task<int> {
+      int committed = 0;
+      for (int i = 0; i < 8; i++) {
+        auto tx = c->node(i % 4).Begin(0);
+        GlobalAddr addr{r, static_cast<uint32_t>((i % 4) * 16)};
+        auto rd = co_await tx->Read(addr, 8);
+        if (!rd.ok()) {
+          continue;
+        }
+        std::vector<uint8_t> bytes(8, static_cast<uint8_t>(i + 1));
+        (void)tx->Write(addr, bytes);
+        Status s = co_await tx->Commit();
+        if (s.ok()) {
+          committed++;
+        }
+      }
+      co_return committed;
+    };
+    auto committed = RunTask(*cluster, work(cluster.get(), rid));
+    EXPECT_TRUE(committed.has_value());
+    EXPECT_GT(*committed, 0);
+  }
+  trace::SetGlobal(nullptr);
+  return tracer.ToJson();
+}
+
+TEST(TraceTest, RecordsTxPhasesOnMachineTracks) {
+  std::string json = TracedRunJson(1);
+  // Track metadata names the simulated machines and threads.
+  EXPECT_NE(json.find("\"machine 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"lease\""), std::string::npos);
+  // Transaction lifecycle spans are present.
+  for (const char* name : {"\"commit\"", "\"lock\"", "\"validate\"",
+                           "\"commit-backup\"", "\"commit-primary\"", "\"read\""}) {
+    EXPECT_NE(json.find(name), std::string::npos) << "missing span " << name;
+  }
+  // Nestable async begin/end pairs balance.
+  size_t begins = 0;
+  size_t ends = 0;
+  for (size_t pos = 0; (pos = json.find("\"ph\":\"b\"", pos)) != std::string::npos; pos++) {
+    begins++;
+  }
+  for (size_t pos = 0; (pos = json.find("\"ph\":\"e\"", pos)) != std::string::npos; pos++) {
+    ends++;
+  }
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+}
+
+TEST(TraceTest, ByteIdenticalAcrossSameSeedRuns) {
+  std::string first = TracedRunJson(7);
+  std::string second = TracedRunJson(7);
+  EXPECT_GT(first.size(), 0u);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace farm
