@@ -37,6 +37,8 @@ Task<bool> LocalOccEngine::RunTx(int thread, const std::vector<uint64_t>& reads,
                                  const std::vector<uint64_t>& writes, uint32_t value_bytes) {
   HwThread& cpu = machine_.thread(thread);
   // Execution: read versions and data.
+  // farmlint: allow(unordered-decl): per-transaction scratch map; validation
+  // walks the caller-ordered `reads` vector, never this map.
   std::unordered_map<uint64_t, uint64_t> read_versions;
   for (uint64_t key : reads) {
     co_await cpu.Execute(cost_.cpu_tx_read_local);

@@ -60,6 +60,8 @@ class LocalOccEngine {
   Machine& machine_;
   CostModel cost_;
   Options options_;
+  // farmlint: allow(unordered-decl): accessed only via find/insert with keys
+  // ordered by the caller's (seeded) access pattern; never iterated.
   std::unordered_map<uint64_t, Record> store_;
   uint64_t committed_ = 0;
   uint64_t aborted_ = 0;

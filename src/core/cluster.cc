@@ -72,6 +72,11 @@ Cluster::Cluster(ClusterOptions options)
 }
 
 Cluster::~Cluster() {
+  // Machine deaths park coroutine frames forever (see the cancellation model
+  // in src/sim/task.h); destroy them before cluster state goes away, while
+  // the tracer clock is still attached so their spans close at the final
+  // simulated time.
+  ReclaimParkedFrames();
   ClearLogClock(this);
   // The tracer outlives the cluster; detach so it cannot stamp events with a
   // dead simulator.

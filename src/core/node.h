@@ -22,7 +22,6 @@
 #include <memory>
 #include <optional>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
@@ -319,7 +318,10 @@ class Node {
 
   // Coordinator-side state.
   uint64_t next_local_tx_ = 0;
-  std::unordered_map<TxId, Transaction*, TxIdHasher> inflight_;
+  // TxId-keyed protocol state lives in ordered maps: recovery iterates these
+  // (e.g. BeginTransactionStateRecovery walks inflight_) and the visit order
+  // feeds message order, so it must not depend on hash layout.
+  std::map<TxId, Transaction*> inflight_;
   std::map<MachineId, std::deque<TxId>> pending_truncations_;
   bool truncate_flush_armed_ = false;
 
@@ -330,9 +332,9 @@ class Node {
     bool locks_held = false;
     bool applied = false;
   };
-  std::unordered_map<TxId, PendingTx, TxIdHasher> pending_;
+  std::map<TxId, PendingTx> pending_;
   // txid -> stored log records (from, seq) for truncation.
-  std::unordered_map<TxId, std::vector<std::pair<MachineId, uint64_t>>, TxIdHasher> log_index_;
+  std::map<TxId, std::vector<std::pair<MachineId, uint64_t>>> log_index_;
   // Truncated-transaction sets per coordinator (machine, thread), compacted
   // with a low bound on the local sequence component.
   struct TruncatedSet {
@@ -356,7 +358,7 @@ class Node {
 
   // Request/reply correlation.
   uint64_t next_correlation_ = 1;
-  std::unordered_map<uint64_t, Future<StatusOr<std::vector<uint8_t>>>> pending_requests_;
+  std::map<uint64_t, Future<StatusOr<std::vector<uint8_t>>>> pending_requests_;
 
   // True while a power-failure restart treats every logged transaction as
   // recovering (see RestartRecovery).
@@ -371,8 +373,8 @@ class Node {
   std::optional<PendingReconfig> pending_reconfig_;  // CM side
   bool reconfig_in_flight_ = false;
   std::map<RegionId, RegionRecovery> region_recovery_;
-  std::unordered_map<TxId, DecisionState, TxIdHasher> decisions_;
-  std::unordered_map<TxId, std::function<void()>, TxIdHasher> vote_timers_;
+  std::map<TxId, DecisionState> decisions_;
+  std::map<TxId, std::function<void()>> vote_timers_;
   std::set<RegionId> new_backup_regions_;   // to re-replicate after active
   std::set<RegionId> promoted_regions_;     // allocator free lists to rebuild
   bool regions_active_sent_ = false;

@@ -107,6 +107,8 @@ class BTree {
   RegionId node_region_ = kInvalidRegion;
 
   struct Cache {
+    // farmlint: allow(unordered-decl): keyed lookup/erase only, never
+    // iterated, so hash order cannot reach reads or the fabric.
     std::unordered_map<uint64_t, NodeData> nodes;  // by packed address
   };
   std::shared_ptr<Cache> cache_;

@@ -23,7 +23,9 @@ void SetSlot(std::vector<uint8_t>* bucket, uint32_t slot_bytes, int slot, uint64
   uint8_t* p = bucket->data() + static_cast<size_t>(slot) * slot_bytes;
   std::memcpy(p, &key, 8);
   std::memset(p + 8, 0, value_size);
-  std::memcpy(p + 8, value.data(), std::min<size_t>(value.size(), value_size));
+  if (!value.empty()) {  // empty vector's data() may be null: UB to memcpy
+    std::memcpy(p + 8, value.data(), std::min<size_t>(value.size(), value_size));
+  }
 }
 
 }  // namespace

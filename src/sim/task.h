@@ -5,10 +5,12 @@
 // callbacks (NIC acks, message replies, timers) are surfaced as Future<T>.
 //
 // Cancellation model: coroutines belonging to a killed machine are simply
-// never resumed (their completions are dropped by the delivery layer). The
-// suspended frames are reclaimed when the process exits; simulation runs are
-// short-lived so this is acceptable and keeps the protocol code free of
-// cancellation plumbing.
+// never resumed (their completions are dropped by the delivery layer). This
+// keeps the protocol code free of cancellation plumbing. Every top-level
+// (Detached) frame is tracked on an intrusive list, and simulation teardown
+// calls ReclaimParkedFrames() to destroy the frames that are still suspended;
+// destroying a Detached frame cascades down its ownership chain, so the
+// child Task frames, futures, and wait groups it holds are released too.
 #ifndef SRC_SIM_TASK_H_
 #define SRC_SIM_TASK_H_
 
@@ -133,9 +135,57 @@ inline Task<void> TaskPromise<void>::get_return_object() {
 
 }  // namespace task_internal
 
-// Fire-and-forget coroutine; frame self-destructs on completion.
+namespace task_internal {
+
+// Intrusive list node embedded in every Detached frame's promise so the
+// simulation can find frames that were parked forever (their machine died
+// and the delivery layer dropped the completion that would have resumed
+// them). The simulator is single-threaded, so a plain global list suffices.
+struct DetachedNode {
+  DetachedNode* prev = nullptr;
+  DetachedNode* next = nullptr;
+  std::coroutine_handle<> frame;
+};
+
+inline DetachedNode*& DetachedListHead() {
+  static DetachedNode* head = nullptr;
+  return head;
+}
+
+inline void LinkDetached(DetachedNode* n) {
+  DetachedNode*& head = DetachedListHead();
+  n->next = head;
+  if (head != nullptr) {
+    head->prev = n;
+  }
+  head = n;
+}
+
+inline void UnlinkDetached(DetachedNode* n) {
+  if (n->prev != nullptr) {
+    n->prev->next = n->next;
+  } else {
+    DetachedListHead() = n->next;
+  }
+  if (n->next != nullptr) {
+    n->next->prev = n->prev;
+  }
+  n->prev = nullptr;
+  n->next = nullptr;
+}
+
+}  // namespace task_internal
+
+// Fire-and-forget coroutine; frame self-destructs on completion. Frames
+// still alive when the simulation is torn down are reclaimed via
+// ReclaimParkedFrames().
 struct Detached {
-  struct promise_type {
+  struct promise_type : task_internal::DetachedNode {
+    promise_type() {
+      frame = std::coroutine_handle<promise_type>::from_promise(*this);
+      task_internal::LinkDetached(this);
+    }
+    ~promise_type() { task_internal::UnlinkDetached(this); }
     Detached get_return_object() { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
@@ -143,6 +193,19 @@ struct Detached {
     void unhandled_exception() { std::terminate(); }
   };
 };
+
+// Destroys every Detached frame still suspended, newest first (creation
+// order is deterministic, so reclaim order is too). Call only when the
+// simulation has quiesced — i.e. nothing will resume these frames later.
+// Returns the number of top-level frames reclaimed.
+inline int ReclaimParkedFrames() {
+  int reclaimed = 0;
+  while (task_internal::DetachedNode* head = task_internal::DetachedListHead()) {
+    head->frame.destroy();  // ~promise_type unlinks the node
+    reclaimed++;
+  }
+  return reclaimed;
+}
 
 // Starts a Task and detaches from it. The Task's frame is owned by the
 // wrapper coroutine and is destroyed when the task completes.

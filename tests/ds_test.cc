@@ -100,9 +100,8 @@ class DsTest : public ::testing::Test {
 };
 
 std::vector<uint8_t> Val(uint64_t v) {
-  std::vector<uint8_t> b(8);
+  std::vector<uint8_t> b(16, 0);
   std::memcpy(b.data(), &v, 8);
-  b.resize(16, 0);
   return b;
 }
 

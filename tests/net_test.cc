@@ -250,14 +250,18 @@ TEST_F(FabricTest, NicRateLimitsThroughput) {
   uint64_t addr = stores_[3]->Allocate(64);
   const int kOpsPerSrc = 200;
   int completed = 0;
+  // Captureless lambda: a loop-scoped capturing lambda dies before its
+  // coroutine finishes (the frame reads captures through the dead closure);
+  // parameters are copied into the coroutine frame and are safe.
+  auto reader = [](Fabric* fabric, MachineId src, uint64_t a, int ops,
+                   int* done) -> Task<void> {
+    for (int i = 0; i < ops; i++) {
+      (void)co_await fabric->Read(src, 3, a, 8);
+      (*done)++;
+    }
+  };
   for (MachineId src = 0; src < 3; src++) {
-    auto coro = [&, src]() -> Task<void> {
-      for (int i = 0; i < kOpsPerSrc; i++) {
-        (void)co_await fabric_.Read(src, 3, addr, 8);
-        completed++;
-      }
-    };
-    Spawn(coro());
+    Spawn(reader(&fabric_, src, addr, kOpsPerSrc, &completed));
   }
   sim_.Run();
   EXPECT_EQ(completed, 3 * kOpsPerSrc);

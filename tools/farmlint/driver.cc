@@ -1,0 +1,146 @@
+#include "tools/farmlint/driver.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace farmlint {
+namespace fs = std::filesystem;
+namespace {
+
+bool IsSourceFile(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" || ext == ".cxx";
+}
+
+bool IsSkippedDir(const fs::path& p) {
+  std::string name = p.filename().string();
+  return name.empty() || name[0] == '.' || name == "build" || name == "testdata" ||
+         name == "third_party";
+}
+
+// Applies one `.farmlint` file to the rule set. Unknown rule names are
+// ignored (forward compatibility with configs written for newer farmlints).
+void ApplyConfig(const fs::path& config, std::set<std::string>* enabled) {
+  std::ifstream in(config);
+  if (!in) {
+    return;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string verb;
+    std::string rule;
+    if (!(ls >> verb) || verb[0] == '#') {
+      continue;
+    }
+    ls >> rule;
+    if (verb == "enable" && IsKnownRule(rule)) {
+      enabled->insert(rule);
+    } else if (verb == "disable" && IsKnownRule(rule)) {
+      enabled->erase(rule);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> DiscoverFiles(const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           it != fs::recursive_directory_iterator(); it.increment(ec)) {
+        if (ec) {
+          break;
+        }
+        if (it->is_directory() && IsSkippedDir(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && IsSourceFile(it->path())) {
+          files.push_back(it->path().lexically_normal().generic_string());
+        }
+      }
+    } else {
+      files.push_back(fs::path(p).lexically_normal().generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::set<std::string> ResolveEnabledRules(const std::string& root, const std::string& file) {
+  std::set<std::string> enabled;
+  for (const RuleInfo& r : AllRules()) {
+    if (r.default_on) {
+      enabled.insert(r.name);
+    }
+  }
+  // Collect the directory chain root -> file's directory. If the file is not
+  // under root, only its own directory's config applies.
+  fs::path abs_root = fs::absolute(root).lexically_normal();
+  fs::path dir = fs::absolute(fs::path(file)).parent_path().lexically_normal();
+  std::vector<fs::path> chain;
+  for (fs::path d = dir; !d.empty(); d = d.parent_path()) {
+    chain.push_back(d);
+    if (d == abs_root || d == d.parent_path()) {
+      break;
+    }
+  }
+  std::reverse(chain.begin(), chain.end());
+  if (chain.front() != abs_root) {
+    chain = {dir};
+  }
+  for (const fs::path& d : chain) {
+    ApplyConfig(d / ".farmlint", &enabled);
+  }
+  return enabled;
+}
+
+bool LoadFile(const std::string& path, FileInput* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string source = buf.str();
+  out->path = path;
+  fs::path p(path);
+  std::string ext = p.extension().string();
+  out->is_header = ext == ".h" || ext == ".hpp";
+  out->basename = p.filename().string();
+  out->tokens = Lex(source);
+  return true;
+}
+
+int RunFarmlint(const DriverOptions& options, std::ostream& out) {
+  std::vector<std::string> files = DiscoverFiles(options.paths);
+  std::vector<FileInput> inputs;
+  inputs.reserve(files.size());
+  Linter linter;
+  for (const std::string& f : files) {
+    FileInput input;
+    if (!LoadFile(f, &input)) {
+      out << f << ":1:1: error: [driver] cannot read file\n";
+      continue;
+    }
+    linter.CollectDeclarations(input);
+    inputs.push_back(std::move(input));
+  }
+  int count = 0;
+  for (const FileInput& input : inputs) {
+    std::set<std::string> enabled = ResolveEnabledRules(options.root, input.path);
+    for (const Diagnostic& d : linter.Lint(input, enabled)) {
+      out << d.ToString() << "\n";
+      count++;
+    }
+  }
+  return count;
+}
+
+}  // namespace farmlint

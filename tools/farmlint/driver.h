@@ -1,0 +1,40 @@
+// farmlint driver: file discovery, per-directory `.farmlint` config
+// resolution, and the two-pass lint run (collect declarations, then lint).
+#ifndef TOOLS_FARMLINT_DRIVER_H_
+#define TOOLS_FARMLINT_DRIVER_H_
+
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/farmlint/rules.h"
+
+namespace farmlint {
+
+struct DriverOptions {
+  // Directory the per-directory config walk stops at (usually the repo
+  // root). Config files between root and each source file apply root-first.
+  std::string root = ".";
+  // Files or directories (searched recursively for C++ sources).
+  std::vector<std::string> paths;
+};
+
+// Expands `paths` into the list of lintable files (sorted, deduplicated).
+std::vector<std::string> DiscoverFiles(const std::vector<std::string>& paths);
+
+// Effective rule set for `file`: rule defaults, then `enable`/`disable`
+// lines from every `.farmlint` between `root` and the file's directory,
+// applied outermost first.
+std::set<std::string> ResolveEnabledRules(const std::string& root, const std::string& file);
+
+// Reads and tokenizes one file. Returns false if unreadable.
+bool LoadFile(const std::string& path, FileInput* out);
+
+// Full run: discover, collect, lint, print diagnostics to `out`.
+// Returns the number of diagnostics (0 == clean).
+int RunFarmlint(const DriverOptions& options, std::ostream& out);
+
+}  // namespace farmlint
+
+#endif  // TOOLS_FARMLINT_DRIVER_H_

@@ -1,0 +1,224 @@
+// farmlint's own tests: lexer unit tests plus fixture files under testdata/
+// that must (or must not) trigger specific rules.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/farmlint/driver.h"
+#include "tools/farmlint/lexer.h"
+#include "tools/farmlint/rules.h"
+
+namespace farmlint {
+namespace {
+
+std::string Testdata(const std::string& name) {
+  return std::string(FARMLINT_TESTDATA) + "/" + name;
+}
+
+std::set<std::string> DefaultRules() {
+  std::set<std::string> enabled;
+  for (const RuleInfo& r : AllRules()) {
+    if (r.default_on) {
+      enabled.insert(r.name);
+    }
+  }
+  return enabled;
+}
+
+// Lints one fixture (collecting declarations from `extra_decl_files` first)
+// and returns rule -> count.
+std::map<std::string, int> LintFixture(const std::string& name,
+                                       const std::set<std::string>& enabled,
+                                       const std::vector<std::string>& extra_decl_files = {}) {
+  Linter linter;
+  std::vector<FileInput> inputs;
+  for (const std::string& extra : extra_decl_files) {
+    FileInput in;
+    EXPECT_TRUE(LoadFile(Testdata(extra), &in)) << extra;
+    linter.CollectDeclarations(in);
+  }
+  FileInput target;
+  EXPECT_TRUE(LoadFile(Testdata(name), &target)) << name;
+  linter.CollectDeclarations(target);
+  std::map<std::string, int> hits;
+  for (const Diagnostic& d : linter.Lint(target, enabled)) {
+    hits[d.rule]++;
+  }
+  return hits;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesIdentifiersStringsAndComments) {
+  auto toks = Lex("int x = rand(); // trailing\n\"rand()\" /* block */");
+  // 0:int 1:x 2:= 3:rand 4:( 5:) 6:; 7:comment 8:string 9:comment 10:eof
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[0].kind, TokKind::kIdentifier);
+  EXPECT_EQ(toks[3].text, "rand");
+  EXPECT_EQ(toks[3].line, 1);
+  EXPECT_EQ(toks[7].kind, TokKind::kComment);
+  EXPECT_EQ(toks[8].kind, TokKind::kString);
+  EXPECT_EQ(toks[8].line, 2);
+  EXPECT_EQ(toks[9].kind, TokKind::kComment);
+}
+
+TEST(LexerTest, BannedNamesInsideStringsStayStrings) {
+  auto toks = Lex("const char* s = \"time(nullptr) rand()\";");
+  for (const Token& t : toks) {
+    EXPECT_NE(t.text, "time");
+    EXPECT_NE(t.text, "rand");
+  }
+}
+
+TEST(LexerTest, RawStringsAreOneToken) {
+  auto toks = Lex("auto s = R\"(rand() \" unclosed)\"; int after = 1;");
+  bool saw_after = false;
+  for (const Token& t : toks) {
+    if (t.text == "after") {
+      saw_after = true;
+    }
+    EXPECT_NE(t.text, "rand");
+  }
+  EXPECT_TRUE(saw_after);
+}
+
+TEST(LexerTest, IncludeHeaderNameIsOneToken) {
+  auto toks = Lex("#include <unordered_map>\nint x;");
+  bool saw_header = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kString && t.text == "<unordered_map>") {
+      saw_header = true;
+    }
+    EXPECT_NE(t.text, "unordered_map");
+  }
+  EXPECT_TRUE(saw_header);
+}
+
+TEST(LexerTest, DirectiveTokensAreMarked) {
+  auto toks = Lex("#ifndef FOO_H_\n#define FOO_H_\nint x;\n#endif\n");
+  ASSERT_GT(toks.size(), 3u);
+  EXPECT_TRUE(toks[1].in_directive);  // ifndef
+  EXPECT_EQ(toks[1].text, "ifndef");
+  bool x_in_directive = true;
+  for (const Token& t : toks) {
+    if (t.text == "x") {
+      x_in_directive = t.in_directive;
+    }
+  }
+  EXPECT_FALSE(x_in_directive);
+}
+
+// ---------------------------------------------------------------------------
+// Rules on fixtures
+// ---------------------------------------------------------------------------
+
+TEST(RuleFixtureTest, WallClock) {
+  auto hits = LintFixture("bad_wallclock.cc", DefaultRules());
+  EXPECT_EQ(hits["wall-clock"], 7);
+  EXPECT_EQ(hits.size(), 1u) << "only wall-clock may fire";
+}
+
+TEST(RuleFixtureTest, RawRand) {
+  auto hits = LintFixture("bad_rand.cc", DefaultRules());
+  EXPECT_EQ(hits["raw-rand"], 6);
+  EXPECT_EQ(hits.size(), 1u) << "only raw-rand may fire";
+}
+
+TEST(RuleFixtureTest, UnorderedIter) {
+  auto hits = LintFixture("bad_unordered_iter.cc", DefaultRules());
+  EXPECT_EQ(hits["unordered-iter"], 3);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(RuleFixtureTest, UnorderedIterAcrossFiles) {
+  // The member is declared in the header; the iteration lives in the .cc.
+  auto hits = LintFixture("cross_file_iter.cc", DefaultRules(), {"cross_file_decl.h"});
+  EXPECT_EQ(hits["unordered-iter"], 1);
+}
+
+TEST(RuleFixtureTest, UnorderedLocalsDoNotTaintOtherFiles) {
+  // local_scope_a.cc declares an unordered local `scratch`; local_scope_b.cc
+  // iterates an ordered std::map with the same name. Only members (trailing
+  // underscore) are matched across files.
+  EXPECT_TRUE(LintFixture("local_scope_b.cc", DefaultRules(), {"local_scope_a.cc"}).empty());
+  auto hits = LintFixture("local_scope_a.cc", DefaultRules());
+  EXPECT_TRUE(hits.empty()) << "declaring (without iterating) is fine by default";
+}
+
+TEST(RuleFixtureTest, PointerAndFloatKeys) {
+  auto hits = LintFixture("bad_keys.cc", DefaultRules());
+  EXPECT_EQ(hits["ptr-key"], 2);
+  EXPECT_EQ(hits["float-key"], 2);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(RuleFixtureTest, HeaderHygiene) {
+  auto hits = LintFixture("bad_header.h", DefaultRules());
+  EXPECT_EQ(hits["include-guard"], 1);
+  EXPECT_EQ(hits["using-namespace-header"], 1);
+}
+
+TEST(RuleFixtureTest, GuardedHeadersAreClean) {
+  EXPECT_TRUE(LintFixture("good_guard.h", DefaultRules()).empty());
+  EXPECT_TRUE(LintFixture("good_pragma.h", DefaultRules()).empty());
+}
+
+TEST(RuleFixtureTest, CleanFileHasNoFindings) {
+  EXPECT_TRUE(LintFixture("good_clean.cc", DefaultRules()).empty());
+}
+
+TEST(RuleFixtureTest, AllowCommentsSuppress) {
+  EXPECT_TRUE(LintFixture("good_suppressed.cc", DefaultRules()).empty());
+}
+
+TEST(RuleFixtureTest, RandImplementationFileIsExempt) {
+  EXPECT_TRUE(LintFixture("rand.cc", DefaultRules()).empty());
+}
+
+TEST(RuleFixtureTest, UnorderedDeclIsOffByDefault) {
+  auto hits = LintFixture("configdir/decl_only.cc", DefaultRules());
+  EXPECT_EQ(hits.count("unordered-decl"), 0u);
+  EXPECT_EQ(hits["ptr-key"], 1);  // default rules: ptr-key still on
+}
+
+// ---------------------------------------------------------------------------
+// Driver: per-directory config + end-to-end run
+// ---------------------------------------------------------------------------
+
+TEST(DriverTest, ConfigDirTogglesRules) {
+  std::set<std::string> enabled =
+      ResolveEnabledRules(FARMLINT_TESTDATA, Testdata("configdir/decl_only.cc"));
+  EXPECT_EQ(enabled.count("unordered-decl"), 1u);
+  EXPECT_EQ(enabled.count("ptr-key"), 0u);
+  EXPECT_EQ(enabled.count("wall-clock"), 1u);
+
+  DriverOptions options;
+  options.root = FARMLINT_TESTDATA;
+  options.paths = {Testdata("configdir")};
+  std::ostringstream out;
+  int n = RunFarmlint(options, out);
+  EXPECT_EQ(n, 1) << out.str();
+  EXPECT_NE(out.str().find("unordered-decl"), std::string::npos) << out.str();
+}
+
+TEST(DriverTest, DiscoverSkipsNonSource) {
+  auto files = DiscoverFiles({Testdata("configdir")});
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_NE(files[0].find("decl_only.cc"), std::string::npos);
+}
+
+TEST(DriverTest, KnownRuleNames) {
+  EXPECT_TRUE(IsKnownRule("wall-clock"));
+  EXPECT_TRUE(IsKnownRule("unordered-iter"));
+  EXPECT_FALSE(IsKnownRule("no-such-rule"));
+}
+
+}  // namespace
+}  // namespace farmlint

@@ -1,0 +1,242 @@
+#include "tools/farmlint/lexer.h"
+
+#include <cctype>
+
+namespace farmlint {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentCont(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  int line() const { return line_; }
+  int col() const { return col_; }
+  size_t pos() const { return pos_; }
+  std::string_view Slice(size_t from) const { return src_.substr(from, pos_ - from); }
+
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      line_++;
+      col_ = 1;
+    } else {
+      col_++;
+    }
+    return c;
+  }
+
+  // Consumes a backslash-newline splice if one starts here.
+  bool ConsumeSplice() {
+    if (Peek() == '\\' && (Peek(1) == '\n' || (Peek(1) == '\r' && Peek(2) == '\n'))) {
+      Advance();
+      while (Peek() == '\r') {
+        Advance();
+      }
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view source) {
+  std::vector<Token> out;
+  Cursor c(source);
+  bool at_line_start = true;
+  bool in_directive = false;
+  bool directive_is_include = false;
+
+  auto push = [&](TokKind kind, std::string text, int line, int col) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.col = col;
+    t.at_line_start = at_line_start;
+    t.in_directive = in_directive;
+    at_line_start = false;
+    out.push_back(std::move(t));
+  };
+
+  while (!c.AtEnd()) {
+    if (c.ConsumeSplice()) {
+      continue;  // a spliced line does not end a directive
+    }
+    char ch = c.Peek();
+    if (ch == '\n') {
+      c.Advance();
+      at_line_start = true;
+      in_directive = false;
+      directive_is_include = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.Advance();
+      continue;
+    }
+
+    int line = c.line();
+    int col = c.col();
+    size_t start = c.pos();
+
+    // Comments.
+    if (ch == '/' && c.Peek(1) == '/') {
+      while (!c.AtEnd() && c.Peek() != '\n') {
+        if (!c.ConsumeSplice()) {
+          c.Advance();
+        }
+      }
+      push(TokKind::kComment, std::string(c.Slice(start)), line, col);
+      continue;
+    }
+    if (ch == '/' && c.Peek(1) == '*') {
+      c.Advance();
+      c.Advance();
+      while (!c.AtEnd() && !(c.Peek() == '*' && c.Peek(1) == '/')) {
+        c.Advance();
+      }
+      if (!c.AtEnd()) {
+        c.Advance();
+        c.Advance();
+      }
+      push(TokKind::kComment, std::string(c.Slice(start)), line, col);
+      continue;
+    }
+
+    // Preprocessor directive start.
+    if (ch == '#' && at_line_start) {
+      c.Advance();
+      push(TokKind::kPunct, "#", line, col);
+      in_directive = true;
+      // Peek the directive name to special-case #include's <header>.
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (ch == 'R' && c.Peek(1) == '"') {
+      c.Advance();  // R
+      c.Advance();  // "
+      std::string delim;
+      while (!c.AtEnd() && c.Peek() != '(') {
+        delim += c.Advance();
+      }
+      if (!c.AtEnd()) {
+        c.Advance();  // (
+      }
+      std::string closer = ")" + delim + "\"";
+      while (!c.AtEnd()) {
+        if (c.Peek() == ')') {
+          bool matched = true;
+          for (size_t i = 0; i < closer.size(); ++i) {
+            if (c.Peek(i) != closer[i]) {
+              matched = false;
+              break;
+            }
+          }
+          if (matched) {
+            for (size_t i = 0; i < closer.size(); ++i) {
+              c.Advance();
+            }
+            break;
+          }
+        }
+        c.Advance();
+      }
+      push(TokKind::kString, std::string(c.Slice(start)), line, col);
+      continue;
+    }
+
+    // String / char literals.
+    if (ch == '"' || ch == '\'') {
+      char quote = c.Advance();
+      while (!c.AtEnd() && c.Peek() != quote && c.Peek() != '\n') {
+        if (c.Peek() == '\\') {
+          c.Advance();
+          if (!c.AtEnd()) {
+            c.Advance();
+          }
+        } else {
+          c.Advance();
+        }
+      }
+      if (!c.AtEnd() && c.Peek() == quote) {
+        c.Advance();
+      }
+      push(TokKind::kString, std::string(c.Slice(start)), line, col);
+      continue;
+    }
+
+    // #include <header>: lex the angle-bracket name as one string token.
+    if (ch == '<' && directive_is_include) {
+      while (!c.AtEnd() && c.Peek() != '>' && c.Peek() != '\n') {
+        c.Advance();
+      }
+      if (!c.AtEnd() && c.Peek() == '>') {
+        c.Advance();
+      }
+      push(TokKind::kString, std::string(c.Slice(start)), line, col);
+      directive_is_include = false;
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (IsIdentStart(ch)) {
+      while (!c.AtEnd() && IsIdentCont(c.Peek())) {
+        c.Advance();
+      }
+      std::string text(c.Slice(start));
+      if (in_directive && out.size() >= 1 && out.back().text == "#" && text == "include") {
+        directive_is_include = true;
+      }
+      push(TokKind::kIdentifier, std::move(text), line, col);
+      continue;
+    }
+
+    // Number (pp-number approximation; exact value is irrelevant to rules).
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.Peek(1))))) {
+      while (!c.AtEnd() &&
+             (IsIdentCont(c.Peek()) || c.Peek() == '.' || c.Peek() == '\'')) {
+        c.Advance();
+      }
+      push(TokKind::kNumber, std::string(c.Slice(start)), line, col);
+      continue;
+    }
+
+    // Punctuation: the multi-character ones rules care about, else one char.
+    static constexpr std::string_view kTwoChar[] = {"::", "->", "<<", ">>", "<=",
+                                                    ">=", "==", "!=", "&&", "||"};
+    std::string text(1, c.Advance());
+    for (std::string_view two : kTwoChar) {
+      if (text[0] == two[0] && c.Peek() == two[1]) {
+        text += c.Advance();
+        break;
+      }
+    }
+    push(TokKind::kPunct, std::move(text), line, col);
+  }
+
+  Token eof;
+  eof.kind = TokKind::kEof;
+  eof.line = c.line();
+  eof.col = c.col();
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace farmlint

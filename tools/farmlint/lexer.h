@@ -1,0 +1,43 @@
+// A small, self-contained C++ lexer for farmlint.
+//
+// This is deliberately not a full C++ front end: farmlint's rules only need a
+// token stream that correctly skips comments, string/char literals (including
+// raw strings), and preprocessor noise, while preserving line/column
+// positions and the comment text (comments carry `farmlint: allow(...)`
+// suppressions). Tokenizing instead of regex-grepping is what lets rules
+// distinguish `rand(` the libc call from `brand(` or `"rand("` in a string.
+#ifndef TOOLS_FARMLINT_LEXER_H_
+#define TOOLS_FARMLINT_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace farmlint {
+
+enum class TokKind {
+  kIdentifier,   // identifiers and keywords (rules match on spelling)
+  kNumber,       // numeric literal (no semantic value needed)
+  kString,       // "..." / R"(...)" / '...' / <header> after #include
+  kPunct,        // one operator/punctuator, e.g. "::", "<", "->", "#"
+  kComment,      // // or /* */, text includes the delimiters
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;    // exact source spelling
+  int line = 0;        // 1-based
+  int col = 0;         // 1-based
+  bool at_line_start = false;  // first non-whitespace token on its line
+  bool in_directive = false;   // token belongs to a preprocessor line
+};
+
+// Tokenizes an entire source buffer. Never fails: malformed input degrades to
+// single-character punctuation tokens, which at worst makes a rule miss.
+std::vector<Token> Lex(std::string_view source);
+
+}  // namespace farmlint
+
+#endif  // TOOLS_FARMLINT_LEXER_H_

@@ -1,0 +1,60 @@
+// farmlint: determinism/protocol lint for this repository.
+//
+// Usage: farmlint [--root <dir>] [--list-rules] <file-or-dir>...
+//
+// Exit status: 0 when clean, 1 when any diagnostic fired, 2 on usage error.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/farmlint/driver.h"
+
+int main(int argc, char** argv) {
+  farmlint::DriverOptions options;
+  bool list_rules = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "farmlint: --root needs a directory\n";
+        return 2;
+      }
+      options.root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      options.root = arg.substr(std::strlen("--root="));
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: farmlint [--root <dir>] [--list-rules] <file-or-dir>...\n"
+                << "Suppress a finding with: // farmlint: allow(<rule>): why\n"
+                << "Per-directory config: .farmlint files with `enable <rule>` /\n"
+                << "`disable <rule>` lines, applied from --root downward.\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "farmlint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (list_rules) {
+    for (const farmlint::RuleInfo& r : farmlint::AllRules()) {
+      std::cout << r.name << (r.default_on ? "" : " (off by default)") << ": "
+                << r.description << "\n";
+    }
+    return 0;
+  }
+  if (positional.empty()) {
+    std::cerr << "farmlint: no files or directories given (try --help)\n";
+    return 2;
+  }
+  options.paths = positional;
+  int diagnostics = farmlint::RunFarmlint(options, std::cout);
+  if (diagnostics > 0) {
+    std::cout << "farmlint: " << diagnostics << " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,494 @@
+#include "tools/farmlint/rules.h"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+#include <tuple>
+
+namespace farmlint {
+namespace {
+
+constexpr std::array<std::string_view, 4> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+
+constexpr std::array<std::string_view, 8> kAssocTypes = {
+    "map",           "multimap",      "set",           "multiset",
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+
+// Identifiers that read host wall-clock or monotonic time. Any of these in
+// simulator/protocol/bench code breaks same-seed reproducibility.
+constexpr std::array<std::string_view, 13> kWallClockIdents = {
+    "system_clock", "steady_clock",  "high_resolution_clock", "gettimeofday",
+    "clock_gettime", "localtime",    "localtime_r",           "gmtime",
+    "gmtime_r",      "mktime",       "strftime",              "timespec_get",
+    "ftime"};
+
+// Nondeterministically-seeded or global-state RNGs; all randomness must come
+// from the seeded Pcg32 in src/common/rand.h.
+constexpr std::array<std::string_view, 10> kRandIdents = {
+    "random_device", "mt19937",     "mt19937_64", "minstd_rand", "minstd_rand0",
+    "default_random_engine", "ranlux24", "ranlux48", "knuth_b", "random_shuffle"};
+
+// libc RNG entry points, matched only in call position (`rand(`).
+constexpr std::array<std::string_view, 8> kRandCalls = {
+    "rand", "srand", "rand_r", "drand48", "lrand48", "srand48", "srandom", "random"};
+
+// Wall-clock libc entry points, matched only in call position.
+constexpr std::array<std::string_view, 2> kTimeCalls = {"time", "clock"};
+
+template <typename Arr>
+bool Contains(const Arr& arr, std::string_view s) {
+  return std::find(arr.begin(), arr.end(), s) != arr.end();
+}
+
+const std::vector<RuleInfo> kRules = {
+    {"wall-clock", true,
+     "host wall-clock/monotonic time reads; use the simulated clock (src/sim/time.h)"},
+    {"raw-rand", true,
+     "non-seeded or global-state randomness; use farm::Pcg32 (src/common/rand.h)"},
+    {"unordered-iter", true,
+     "iteration over an unordered container; hash order can leak into message/"
+     "schedule/stats order"},
+    {"unordered-decl", false,
+     "unordered container declared in a protocol-order-sensitive directory; "
+     "justify with an allow comment or use an ordered container"},
+    {"ptr-key", true,
+     "container ordered/keyed by pointer value; addresses differ across runs (ASLR, "
+     "allocation order)"},
+    {"float-key", true,
+     "float/double map/set key; rounding makes order and equality fragile"},
+    {"include-guard", true, "header must start with an include guard or #pragma once"},
+    {"using-namespace-header", true,
+     "using-directive in a header leaks names into every includer"},
+};
+
+// line -> rules allowed on that line. An allow comment covers its own line
+// (trailing-comment form) and extends forward over comment-only/blank lines
+// to the first line that has code (preceding-comment form, including
+// multi-line justification comments).
+using AllowMap = std::map<int, std::set<std::string>>;
+
+AllowMap ParseAllows(const std::vector<Token>& tokens) {
+  std::set<int> code_lines;
+  for (const Token& t : tokens) {
+    if (t.kind != TokKind::kComment && t.kind != TokKind::kEof) {
+      code_lines.insert(t.line);
+    }
+  }
+  AllowMap allows;
+  auto cover = [&](int comment_line, const std::string& rule) {
+    allows[comment_line].insert(rule);
+    constexpr int kMaxReach = 8;  // give up on huge comment blocks
+    for (int l = comment_line + 1; l <= comment_line + kMaxReach; ++l) {
+      allows[l].insert(rule);
+      if (code_lines.count(l) != 0) {
+        break;
+      }
+    }
+  };
+  for (const Token& t : tokens) {
+    if (t.kind != TokKind::kComment) {
+      continue;
+    }
+    std::string_view text = t.text;
+    size_t pos = 0;
+    while ((pos = text.find("farmlint: allow(", pos)) != std::string_view::npos) {
+      pos += std::string_view("farmlint: allow(").size();
+      size_t end = text.find(')', pos);
+      if (end == std::string_view::npos) {
+        break;
+      }
+      std::string_view list = text.substr(pos, end - pos);
+      size_t i = 0;
+      while (i < list.size()) {
+        size_t j = list.find(',', i);
+        if (j == std::string_view::npos) {
+          j = list.size();
+        }
+        std::string_view name = list.substr(i, j - i);
+        while (!name.empty() && name.front() == ' ') {
+          name.remove_prefix(1);
+        }
+        while (!name.empty() && name.back() == ' ') {
+          name.remove_suffix(1);
+        }
+        if (!name.empty()) {
+          cover(t.line, std::string(name));
+        }
+        i = j + 1;
+      }
+      pos = end;
+    }
+  }
+  return allows;
+}
+
+class Reporter {
+ public:
+  Reporter(const FileInput& file, const std::set<std::string>& enabled,
+           std::vector<Diagnostic>& out)
+      : file_(file), enabled_(enabled), allows_(ParseAllows(file.tokens)), out_(out) {}
+
+  bool RuleEnabled(const std::string& rule) const { return enabled_.count(rule) != 0; }
+
+  void Report(const std::string& rule, int line, int col, std::string message) {
+    if (!RuleEnabled(rule)) {
+      return;
+    }
+    auto it = allows_.find(line);
+    if (it != allows_.end() && it->second.count(rule) != 0) {
+      return;
+    }
+    out_.push_back(Diagnostic{file_.path, line, col, rule, std::move(message)});
+  }
+
+ private:
+  const FileInput& file_;
+  const std::set<std::string>& enabled_;
+  AllowMap allows_;
+  std::vector<Diagnostic>& out_;
+};
+
+// Significant tokens: everything except comments. Rules index into this.
+std::vector<const Token*> Significant(const std::vector<Token>& tokens) {
+  std::vector<const Token*> sig;
+  sig.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    if (t.kind != TokKind::kComment && t.kind != TokKind::kEof) {
+      sig.push_back(&t);
+    }
+  }
+  return sig;
+}
+
+bool IsIdent(const Token* t, std::string_view text) {
+  return t->kind == TokKind::kIdentifier && t->text == text;
+}
+bool IsPunct(const Token* t, std::string_view text) {
+  return t->kind == TokKind::kPunct && t->text == text;
+}
+
+// True when sig[i] is used as a function call target `name(` that is not a
+// member access (`x.time()`) and not qualified by a non-std namespace.
+bool IsFreeOrStdCall(const std::vector<const Token*>& sig, size_t i) {
+  if (i + 1 >= sig.size() || !IsPunct(sig[i + 1], "(")) {
+    return false;
+  }
+  if (i >= 1) {
+    const Token* prev = sig[i - 1];
+    if (IsPunct(prev, ".") || IsPunct(prev, "->")) {
+      return false;
+    }
+    if (prev->kind == TokKind::kIdentifier) {
+      // `uint64_t time()` declares a member named time; `return time(0)`
+      // calls the libc function.
+      static constexpr std::array<std::string_view, 6> kStmtKeywords = {
+          "return", "co_return", "co_await", "co_yield", "else", "case"};
+      return Contains(kStmtKeywords, prev->text);
+    }
+    if (IsPunct(prev, "::")) {
+      // Qualified: only std:: (or global ::) counts as the libc/std entity.
+      if (i >= 2 && sig[i - 2]->kind == TokKind::kIdentifier) {
+        return sig[i - 2]->text == "std";
+      }
+      return true;  // `::time(...)`
+    }
+  }
+  return true;
+}
+
+// Starting at sig[open] == "<", returns the index just past the matching ">"
+// (treating ">>" as two closers), or 0 if unbalanced/too long. Fills
+// `first_arg` with the tokens of the first template argument.
+size_t SkipTemplateArgs(const std::vector<const Token*>& sig, size_t open,
+                        std::vector<const Token*>* first_arg) {
+  int depth = 0;
+  bool in_first = true;
+  constexpr size_t kMaxSpan = 512;
+  for (size_t i = open; i < sig.size() && i < open + kMaxSpan; ++i) {
+    const Token* t = sig[i];
+    if (IsPunct(t, "<")) {
+      depth++;
+      if (i != open && in_first && first_arg != nullptr) {
+        first_arg->push_back(t);
+      }
+      continue;
+    }
+    if (IsPunct(t, ">") || IsPunct(t, ">>")) {
+      depth -= IsPunct(t, ">>") ? 2 : 1;
+      if (depth <= 0) {
+        return i + 1;
+      }
+      if (in_first && first_arg != nullptr) {
+        first_arg->push_back(t);
+      }
+      continue;
+    }
+    // Abort on tokens that cannot appear in a template argument list: this
+    // `<` was a comparison, not a template opener.
+    if (IsPunct(t, ";") || IsPunct(t, "{") || IsPunct(t, "}")) {
+      return 0;
+    }
+    if (depth == 1 && IsPunct(t, ",")) {
+      in_first = false;
+      continue;
+    }
+    if (i != open && in_first && first_arg != nullptr) {
+      first_arg->push_back(t);
+    }
+  }
+  return 0;
+}
+
+void CheckWallClockAndRand(const FileInput& file, const std::vector<const Token*>& sig,
+                           Reporter& rep) {
+  bool rand_exempt = file.basename == "rand.h" || file.basename == "rand.cc";
+  for (size_t i = 0; i < sig.size(); ++i) {
+    const Token* t = sig[i];
+    if (t->kind != TokKind::kIdentifier || t->in_directive) {
+      continue;
+    }
+    if (Contains(kWallClockIdents, t->text)) {
+      rep.Report("wall-clock", t->line, t->col,
+                 "'" + t->text + "' reads host time; use SimTime/Simulator::Now()");
+      continue;
+    }
+    if (Contains(kTimeCalls, t->text) && IsFreeOrStdCall(sig, i)) {
+      rep.Report("wall-clock", t->line, t->col,
+                 "call to '" + t->text + "()' reads host time; use SimTime/Simulator::Now()");
+      continue;
+    }
+    if (rand_exempt) {
+      continue;
+    }
+    if (Contains(kRandIdents, t->text)) {
+      rep.Report("raw-rand", t->line, t->col,
+                 "'" + t->text + "' is not seed-reproducible; use farm::Pcg32");
+      continue;
+    }
+    if (Contains(kRandCalls, t->text) && IsFreeOrStdCall(sig, i)) {
+      rep.Report("raw-rand", t->line, t->col,
+                 "call to '" + t->text + "()' uses hidden global RNG state; use farm::Pcg32");
+    }
+  }
+}
+
+void CheckUnorderedIter(const std::vector<const Token*>& sig,
+                        const std::set<std::string>& unordered_names, Reporter& rep) {
+  for (size_t i = 0; i < sig.size(); ++i) {
+    const Token* t = sig[i];
+    // Range-for whose range expression mentions a known unordered name.
+    if (IsIdent(t, "for") && i + 1 < sig.size() && IsPunct(sig[i + 1], "(")) {
+      int depth = 0;
+      size_t colon = 0;
+      size_t close = 0;
+      for (size_t j = i + 1; j < sig.size() && j < i + 256; ++j) {
+        if (IsPunct(sig[j], "(")) {
+          depth++;
+        } else if (IsPunct(sig[j], ")")) {
+          depth--;
+          if (depth == 0) {
+            close = j;
+            break;
+          }
+        } else if (depth == 1 && IsPunct(sig[j], ":") && colon == 0) {
+          colon = j;
+        }
+      }
+      if (colon != 0 && close != 0) {
+        for (size_t j = colon + 1; j < close; ++j) {
+          if (sig[j]->kind == TokKind::kIdentifier &&
+              unordered_names.count(sig[j]->text) != 0) {
+            rep.Report("unordered-iter", t->line, t->col,
+                       "range-for over unordered container '" + sig[j]->text +
+                           "'; hash order is not deterministic");
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    // name.begin() / name->cbegin() etc. on a known unordered name.
+    if (t->kind == TokKind::kIdentifier && unordered_names.count(t->text) != 0 &&
+        i + 3 < sig.size() && (IsPunct(sig[i + 1], ".") || IsPunct(sig[i + 1], "->"))) {
+      const std::string& m = sig[i + 2]->text;
+      if ((m == "begin" || m == "cbegin" || m == "rbegin" || m == "crbegin") &&
+          IsPunct(sig[i + 3], "(")) {
+        rep.Report("unordered-iter", t->line, t->col,
+                   "iterator walk of unordered container '" + t->text +
+                       "'; hash order is not deterministic");
+      }
+    }
+  }
+}
+
+void CheckUnorderedDecl(const std::vector<const Token*>& sig, Reporter& rep) {
+  for (const Token* t : sig) {
+    if (t->kind == TokKind::kIdentifier && !t->in_directive &&
+        Contains(kUnorderedTypes, t->text)) {
+      rep.Report("unordered-decl", t->line, t->col,
+                 "'" + t->text +
+                     "' in an order-sensitive directory; use an ordered container or "
+                     "justify with an allow comment");
+    }
+  }
+}
+
+void CheckKeyTypes(const std::vector<const Token*>& sig, Reporter& rep) {
+  for (size_t i = 0; i + 1 < sig.size(); ++i) {
+    const Token* t = sig[i];
+    if (t->kind != TokKind::kIdentifier || !Contains(kAssocTypes, t->text)) {
+      continue;
+    }
+    // Require std:: qualification so plain identifiers named `set` or
+    // comparisons like `map < n` cannot trip the template scan.
+    if (i < 2 || !IsPunct(sig[i - 1], "::") || !IsIdent(sig[i - 2], "std")) {
+      continue;
+    }
+    if (!IsPunct(sig[i + 1], "<")) {
+      continue;
+    }
+    std::vector<const Token*> key;
+    if (SkipTemplateArgs(sig, i + 1, &key) == 0 || key.empty()) {
+      continue;
+    }
+    if (IsPunct(key.back(), "*")) {
+      rep.Report("ptr-key", t->line, t->col,
+                 "std::" + t->text +
+                     " keyed by pointer; pointer order differs across runs");
+      continue;
+    }
+    std::vector<const Token*> stripped;
+    for (const Token* k : key) {
+      if (!IsIdent(k, "const")) {
+        stripped.push_back(k);
+      }
+    }
+    if (stripped.size() == 1 &&
+        (IsIdent(stripped[0], "float") || IsIdent(stripped[0], "double"))) {
+      rep.Report("float-key", t->line, t->col,
+                 "std::" + t->text + " keyed by " + stripped[0]->text +
+                     "; floating-point keys make ordering fragile");
+    }
+  }
+}
+
+void CheckHeaderHygiene(const FileInput& file, const std::vector<const Token*>& sig,
+                        Reporter& rep) {
+  if (!file.is_header) {
+    return;
+  }
+  // Include guard: the first directives must be `#pragma once` or
+  // `#ifndef G` / `#define G`.
+  bool guarded = false;
+  for (size_t i = 0; i + 2 < sig.size(); ++i) {
+    if (!IsPunct(sig[i], "#")) {
+      if (sig[i]->in_directive) {
+        continue;
+      }
+      break;  // first non-preprocessor token before any guard: unguarded
+    }
+    if (IsIdent(sig[i + 1], "pragma") && IsIdent(sig[i + 2], "once")) {
+      guarded = true;
+      break;
+    }
+    if (IsIdent(sig[i + 1], "ifndef") && i + 5 < sig.size() &&
+        sig[i + 2]->kind == TokKind::kIdentifier && IsPunct(sig[i + 3], "#") &&
+        IsIdent(sig[i + 4], "define") && sig[i + 5]->text == sig[i + 2]->text) {
+      guarded = true;
+      break;
+    }
+    break;  // some other directive (e.g. #include) leads the file
+  }
+  if (!guarded && !sig.empty()) {
+    rep.Report("include-guard", 1, 1,
+               "header lacks a leading include guard (#ifndef/#define pair) or #pragma once");
+  }
+
+  for (size_t i = 0; i + 1 < sig.size(); ++i) {
+    if (IsIdent(sig[i], "using") && IsIdent(sig[i + 1], "namespace")) {
+      rep.Report("using-namespace-header", sig[i]->line, sig[i]->col,
+                 "using-directive in a header pollutes every includer's namespace");
+    }
+  }
+}
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  return file + ":" + std::to_string(line) + ":" + std::to_string(col) + ": error: [" +
+         rule + "] " + message;
+}
+
+const std::vector<RuleInfo>& AllRules() { return kRules; }
+
+bool IsKnownRule(const std::string& name) {
+  for (const RuleInfo& r : kRules) {
+    if (name == r.name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Linter::CollectDeclarations(const FileInput& file) {
+  std::vector<const Token*> sig = Significant(file.tokens);
+  for (size_t i = 0; i < sig.size(); ++i) {
+    const Token* t = sig[i];
+    if (t->kind != TokKind::kIdentifier || t->in_directive ||
+        !Contains(kUnorderedTypes, t->text)) {
+      continue;
+    }
+    if (i + 1 >= sig.size() || !IsPunct(sig[i + 1], "<")) {
+      continue;
+    }
+    size_t after = SkipTemplateArgs(sig, i + 1, nullptr);
+    if (after == 0) {
+      continue;
+    }
+    // Skip declarator decorations, then expect `name` followed by a
+    // declaration terminator. This intentionally misses aliases; it only
+    // needs to catch variable and member declarations.
+    while (after < sig.size() &&
+           (IsPunct(sig[after], "&") || IsPunct(sig[after], "*") ||
+            IsPunct(sig[after], "&&") || IsIdent(sig[after], "const"))) {
+      after++;
+    }
+    if (after + 1 >= sig.size() || sig[after]->kind != TokKind::kIdentifier) {
+      continue;
+    }
+    const Token* term = sig[after + 1];
+    if (IsPunct(term, ";") || IsPunct(term, "=") || IsPunct(term, "{") ||
+        IsPunct(term, ",") || IsPunct(term, ")")) {
+      const std::string& name = sig[after]->text;
+      if (name.back() == '_') {
+        unordered_names_.insert(name);  // member: visible repo-wide
+      } else {
+        local_unordered_names_[file.path].insert(name);
+      }
+    }
+  }
+}
+
+std::vector<Diagnostic> Linter::Lint(const FileInput& file,
+                                     const std::set<std::string>& enabled) const {
+  std::vector<Diagnostic> out;
+  Reporter rep(file, enabled, out);
+  std::vector<const Token*> sig = Significant(file.tokens);
+  CheckWallClockAndRand(file, sig, rep);
+  std::set<std::string> unordered = unordered_names_;
+  auto locals = local_unordered_names_.find(file.path);
+  if (locals != local_unordered_names_.end()) {
+    unordered.insert(locals->second.begin(), locals->second.end());
+  }
+  CheckUnorderedIter(sig, unordered, rep);
+  CheckUnorderedDecl(sig, rep);
+  CheckKeyTypes(sig, rep);
+  CheckHeaderHygiene(file, sig, rep);
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return std::tie(a.line, a.col, a.rule) < std::tie(b.line, b.col, b.rule);
+  });
+  return out;
+}
+
+}  // namespace farmlint

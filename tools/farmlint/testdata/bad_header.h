@@ -1,0 +1,6 @@
+// Fixture: header with no include guard and a using-directive.
+#include <vector>
+
+using namespace std;  // using-namespace-header
+
+inline int Twice(int x) { return x * 2; }

@@ -1,0 +1,19 @@
+// Fixture: pointer-keyed and float-keyed associative containers.
+#include <map>
+#include <set>
+
+struct Obj {
+  int x = 0;
+};
+
+int Violations() {
+  std::map<Obj*, int> by_ptr;            // ptr-key
+  std::set<const Obj*> ptr_set;          // ptr-key
+  std::map<double, int> by_double;       // float-key
+  std::set<float> by_float;              // float-key
+  std::map<int, Obj*> ptr_values_ok;     // fine: pointer is the value
+  std::set<long> longs_ok;               // fine
+  by_double[1.5] = 2;
+  return static_cast<int>(by_ptr.size() + ptr_set.size() + by_double.size() +
+                          by_float.size() + ptr_values_ok.size() + longs_ok.size());
+}

@@ -1,0 +1,13 @@
+// Fixture: every statement here must trigger the raw-rand rule.
+#include <cstdlib>
+#include <random>
+
+int Violations() {
+  std::random_device rd;                 // raw-rand
+  std::mt19937 gen(rd());                // raw-rand (x2: mt19937 + rd use is decl-only)
+  std::default_random_engine eng;        // raw-rand
+  srand(42);                             // raw-rand
+  int x = rand();                        // raw-rand
+  x += std::rand();                      // raw-rand
+  return x + static_cast<int>(gen()) + static_cast<int>(eng());
+}

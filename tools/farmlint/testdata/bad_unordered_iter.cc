@@ -1,0 +1,28 @@
+// Fixture: iterating unordered containers must trigger unordered-iter.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+uint64_t Violations() {
+  std::unordered_map<uint64_t, uint64_t> counts;
+  std::unordered_set<uint64_t> seen;
+  counts[1] = 2;
+  seen.insert(3);
+  uint64_t sum = 0;
+  for (const auto& [k, v] : counts) {  // unordered-iter (range-for)
+    sum += k + v;
+  }
+  for (uint64_t v : seen) {  // unordered-iter (range-for)
+    sum += v;
+  }
+  for (auto it = counts.begin(); it != counts.end(); ++it) {  // unordered-iter (.begin())
+    sum += it->second;
+  }
+  // Keyed lookups are fine: no diagnostic for these.
+  sum += counts.count(7);
+  auto found = counts.find(1);
+  if (found != counts.end()) {
+    sum += found->second;
+  }
+  return sum;
+}

@@ -1,0 +1,16 @@
+// Fixture: every statement here must trigger the wall-clock rule.
+#include <chrono>
+#include <ctime>
+
+long long Violations() {
+  auto a = std::chrono::system_clock::now();            // wall-clock
+  auto b = std::chrono::steady_clock::now();            // wall-clock
+  auto c = std::chrono::high_resolution_clock::now();   // wall-clock
+  std::time_t d = std::time(nullptr);                   // wall-clock
+  std::time_t e = time(nullptr);                        // wall-clock
+  long f = clock();                                     // wall-clock
+  struct timespec ts;
+  clock_gettime(0, &ts);                                // wall-clock
+  return a.time_since_epoch().count() + b.time_since_epoch().count() +
+         c.time_since_epoch().count() + d + e + f + ts.tv_nsec;
+}

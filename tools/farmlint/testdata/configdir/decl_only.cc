@@ -1,0 +1,11 @@
+// Fixture: under configdir/.farmlint, declaring an unordered container
+// fires unordered-decl, while the ptr-key below is disabled by config.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+int ConfigScoped() {
+  std::unordered_map<uint64_t, int> m;   // unordered-decl (enabled by .farmlint)
+  std::map<int*, int> p;                 // ptr-key, but disabled by .farmlint
+  return static_cast<int>(m.size() + p.size());
+}

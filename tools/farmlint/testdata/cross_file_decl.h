@@ -1,0 +1,15 @@
+// Fixture: declares an unordered member that cross_file_iter.cc iterates.
+// The declaration itself is fine under default rules; the iteration in the
+// other translation unit must still be caught (two-pass collection).
+#ifndef TOOLS_FARMLINT_TESTDATA_CROSS_FILE_DECL_H_
+#define TOOLS_FARMLINT_TESTDATA_CROSS_FILE_DECL_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+struct CrossFixture {
+  uint64_t Sum() const;
+  std::unordered_map<uint64_t, uint64_t> cross_map_;
+};
+
+#endif  // TOOLS_FARMLINT_TESTDATA_CROSS_FILE_DECL_H_

@@ -1,0 +1,10 @@
+// Fixture: iterates an unordered member declared in cross_file_decl.h.
+#include "tools/farmlint/testdata/cross_file_decl.h"
+
+uint64_t CrossFixture::Sum() const {
+  uint64_t sum = 0;
+  for (const auto& [k, v] : cross_map_) {  // unordered-iter via cross-file decl
+    sum += k + v;
+  }
+  return sum;
+}

@@ -1,0 +1,27 @@
+// Fixture: deterministic idioms; must produce no diagnostics.
+//
+// Note the decoys: identifiers and strings that merely *mention* banned
+// names must not fire ("rand(" inside a string, member functions named
+// time(), ordered-map iteration).
+#include <cstdint>
+#include <map>
+#include <string>
+
+struct SimClock {
+  uint64_t now_ns = 0;
+  uint64_t time() const { return now_ns; }  // member named time(): fine
+};
+
+uint64_t Clean() {
+  SimClock clock_state;
+  uint64_t t = clock_state.time();
+  std::map<uint64_t, uint64_t> ordered;
+  ordered[1] = 2;
+  uint64_t sum = t;
+  for (const auto& [k, v] : ordered) {  // ordered iteration: deterministic
+    sum += k + v;
+  }
+  std::string decoy = "calling rand() or time(nullptr) in a string is fine";
+  // Mentioning system_clock in a comment is fine too.
+  return sum + decoy.size();
+}

@@ -1,0 +1,9 @@
+// Fixture: classic include guard; must produce no diagnostics.
+#ifndef TOOLS_FARMLINT_TESTDATA_GOOD_GUARD_H_
+#define TOOLS_FARMLINT_TESTDATA_GOOD_GUARD_H_
+
+#include <cstdint>
+
+inline uint64_t Twice(uint64_t x) { return x * 2; }
+
+#endif  // TOOLS_FARMLINT_TESTDATA_GOOD_GUARD_H_

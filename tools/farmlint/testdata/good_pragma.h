@@ -1,0 +1,6 @@
+// Fixture: #pragma once is also an accepted guard.
+#pragma once
+
+#include <cstdint>
+
+inline uint64_t Thrice(uint64_t x) { return x * 3; }

@@ -1,0 +1,20 @@
+// Fixture: real violations silenced by farmlint: allow comments, both
+// trailing and preceding-line forms. Must produce no diagnostics.
+#include <cstdint>
+#include <cstdlib>
+#include <unordered_map>
+
+uint64_t Suppressed() {
+  int noise = rand();  // farmlint: allow(raw-rand): fixture exercises trailing allow
+  std::unordered_map<uint64_t, uint64_t> m;
+  m[1] = 2;
+  uint64_t sum = static_cast<uint64_t>(noise);
+  // farmlint: allow(unordered-iter): fixture exercises preceding-line allow
+  for (const auto& [k, v] : m) {
+    sum += k + v;
+  }
+  // farmlint: allow(raw-rand): a multi-line justification comment must keep
+  // covering until the first line of actual code, i.e. the srand below.
+  srand(7);
+  return sum;
+}

@@ -1,0 +1,11 @@
+// Fixture: declares an unordered LOCAL named `scratch`. Because it has no
+// trailing underscore it is not a member, so the name must not taint other
+// files that use `scratch` for an ordered container (see local_scope_b.cc).
+#include <cstdint>
+#include <unordered_map>
+
+uint64_t LocalA() {
+  std::unordered_map<uint64_t, uint64_t> scratch;
+  scratch[1] = 2;
+  return scratch.count(1);
+}

@@ -1,0 +1,14 @@
+// Fixture: iterates an ORDERED map that happens to share its name with the
+// unordered local in local_scope_a.cc. Must produce no diagnostics.
+#include <cstdint>
+#include <map>
+
+uint64_t LocalB() {
+  std::map<uint64_t, uint64_t> scratch;
+  scratch[1] = 2;
+  uint64_t sum = 0;
+  for (const auto& [k, v] : scratch) {
+    sum += k + v;
+  }
+  return sum;
+}

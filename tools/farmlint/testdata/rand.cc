@@ -1,0 +1,8 @@
+// Fixture: named rand.cc, so the raw-rand exemption for the repository's
+// RNG implementation applies. Must produce no raw-rand diagnostics.
+#include <random>
+
+unsigned Exempt() {
+  std::mt19937 gen(12345);  // allowed here: this is the RNG implementation file
+  return gen();
+}
