@@ -1,0 +1,258 @@
+#include "src/chaos/plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/rand.h"
+
+namespace farm {
+namespace chaos {
+
+namespace {
+
+// Dedicated PCG stream for plan generation, distinct from the simulator,
+// workload, and fabric streams so chaos sampling can never perturb them.
+constexpr uint64_t kChaosStream = 0xc4a05c4a05ULL;
+
+struct KindNameRow {
+  EventKind kind;
+  const char* name;
+};
+
+constexpr KindNameRow kKindNames[] = {
+    {EventKind::kKillPrimary, "kill-primary"},
+    {EventKind::kKillBackup, "kill-backup"},
+    {EventKind::kKillCm, "kill-cm"},
+    {EventKind::kPartitionMinority, "partition-minority"},
+    {EventKind::kHeal, "heal"},
+    {EventKind::kLossBurstStart, "loss-burst-start"},
+    {EventKind::kLossBurstEnd, "loss-burst-end"},
+    {EventKind::kSlowMachineStart, "slow-machine-start"},
+    {EventKind::kSlowMachineEnd, "slow-machine-end"},
+    {EventKind::kFlakyNicStart, "flaky-nic-start"},
+    {EventKind::kFlakyNicEnd, "flaky-nic-end"},
+    {EventKind::kPowerFailure, "power-failure"},
+    {EventKind::kRestartEmpty, "restart-empty"},
+    {EventKind::kPartitionBackup, "partition-backup"},
+};
+
+}  // namespace
+
+const char* EventKindName(EventKind k) {
+  for (const auto& row : kKindNames) {
+    if (row.kind == k) {
+      return row.name;
+    }
+  }
+  return "unknown";
+}
+
+bool EventKindFromName(const std::string& name, EventKind* out) {
+  for (const auto& row : kKindNames) {
+    if (name == row.name) {
+      *out = row.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime ChaosPlan::LastFaultTime() const {
+  SimTime last = 0;
+  for (const auto& e : events) {
+    last = std::max(last, e.at);
+  }
+  return last;
+}
+
+std::string ChaosPlan::ToText() const {
+  std::ostringstream out;
+  out << "farm-chaos-plan v1\n";
+  out << "seed " << seed << "\n";
+  out << "machines " << options.machines << "\n";
+  out << "replication " << options.replication_factor << "\n";
+  out << "start " << options.start << "\n";
+  out << "horizon " << options.horizon << "\n";
+  out << "max-faults " << options.max_faults << "\n";
+  out << "allow-power-failure " << (options.allow_power_failure ? 1 : 0) << "\n";
+  out << "allow-restart " << (options.allow_restart ? 1 : 0) << "\n";
+  for (const auto& e : events) {
+    out << "event " << e.at << " " << EventKindName(e.kind) << " " << e.pick
+        << " " << e.param << "\n";
+  }
+  return out.str();
+}
+
+bool ChaosPlan::Parse(const std::string& text, ChaosPlan* out) {
+  ChaosPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_magic = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "farm-chaos-plan") {
+      saw_magic = true;
+    } else if (key == "seed") {
+      ls >> plan.seed;
+    } else if (key == "machines") {
+      ls >> plan.options.machines;
+    } else if (key == "replication") {
+      ls >> plan.options.replication_factor;
+    } else if (key == "start") {
+      ls >> plan.options.start;
+    } else if (key == "horizon") {
+      ls >> plan.options.horizon;
+    } else if (key == "max-faults") {
+      ls >> plan.options.max_faults;
+    } else if (key == "allow-power-failure") {
+      int v = 0;
+      ls >> v;
+      plan.options.allow_power_failure = v != 0;
+    } else if (key == "allow-restart") {
+      int v = 0;
+      ls >> v;
+      plan.options.allow_restart = v != 0;
+    } else if (key == "event") {
+      ChaosEvent e;
+      std::string kind_name;
+      ls >> e.at >> kind_name >> e.pick >> e.param;
+      if (ls.fail() || !EventKindFromName(kind_name, &e.kind)) {
+        return false;
+      }
+      plan.events.push_back(e);
+    } else {
+      return false;
+    }
+    if (ls.fail()) {
+      return false;
+    }
+  }
+  if (!saw_magic) {
+    return false;
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) { return a.at < b.at; });
+  *out = std::move(plan);
+  return true;
+}
+
+ChaosPlan ChaosPlan::Generate(const PlanOptions& options, uint64_t seed) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.options = options;
+  Pcg32 rng(seed, kChaosStream);
+
+  // Kills are permanent (machines never rejoin unless a restart-empty event
+  // follows); keep enough alive for a quorum and a full replica set.
+  const int kill_budget =
+      std::max(0, std::min(options.machines - options.replication_factor,
+                           (options.machines - 1) / 2));
+  int killed = 0;
+
+  const int fault_count =
+      1 + static_cast<int>(rng.Uniform(static_cast<uint32_t>(std::max(1, options.max_faults))));
+  // Time after the last event for detection + recovery + the liveness probe.
+  const SimDuration settle = 250 * kMillisecond;
+  SimTime t = options.start;
+
+  for (int i = 0; i < fault_count; i++) {
+    t += 5 * kMillisecond + rng.Uniform(40) * kMillisecond;
+
+    std::vector<EventKind> kinds = {EventKind::kPartitionMinority, EventKind::kPartitionBackup,
+                                    EventKind::kLossBurstStart, EventKind::kSlowMachineStart,
+                                    EventKind::kFlakyNicStart};
+    if (killed < kill_budget) {
+      kinds.push_back(EventKind::kKillPrimary);
+      kinds.push_back(EventKind::kKillBackup);
+      kinds.push_back(EventKind::kKillCm);
+    }
+    // A power failure reboots every machine with NVRAM intact; restrict it to
+    // moments with no machines down so it cannot resurrect an evicted one
+    // (that re-admission path is the restart-empty event's job).
+    if (options.allow_power_failure && killed == 0) {
+      kinds.push_back(EventKind::kPowerFailure);
+    }
+    if (options.allow_restart && killed > 0) {
+      kinds.push_back(EventKind::kRestartEmpty);
+    }
+    EventKind kind = kinds[rng.Uniform(static_cast<uint32_t>(kinds.size()))];
+    uint64_t pick = rng.Next64();
+    // Partitions outlast the lease by a wide margin so the isolated side is
+    // reliably evicted and recovery (not limbo) decides in-flight outcomes.
+    SimDuration duration = (25 + rng.Uniform(40)) * kMillisecond;
+
+    bool paired = kind == EventKind::kPartitionMinority ||
+                  kind == EventKind::kPartitionBackup ||
+                  kind == EventKind::kLossBurstStart ||
+                  kind == EventKind::kSlowMachineStart || kind == EventKind::kFlakyNicStart;
+    SimTime end_time = paired ? t + duration : t;
+    if (end_time + settle > options.horizon) {
+      break;
+    }
+
+    ChaosEvent e;
+    e.at = t;
+    e.kind = kind;
+    e.pick = pick;
+    switch (kind) {
+      case EventKind::kKillPrimary:
+      case EventKind::kKillBackup:
+      case EventKind::kKillCm:
+        killed++;
+        plan.events.push_back(e);
+        break;
+      case EventKind::kPartitionMinority: {
+        e.param = 1 + pick % static_cast<uint64_t>(std::max(1, (options.machines - 1) / 2));
+        plan.events.push_back(e);
+        plan.events.push_back({end_time, EventKind::kHeal, 0, 0});
+        break;
+      }
+      case EventKind::kPartitionBackup:
+        plan.events.push_back(e);
+        plan.events.push_back({end_time, EventKind::kHeal, 0, 0});
+        break;
+      case EventKind::kLossBurstStart:
+        e.param = 20 + rng.Uniform(180);  // 2% .. 20% datagram loss
+        plan.events.push_back(e);
+        plan.events.push_back({end_time, EventKind::kLossBurstEnd, 0, 0});
+        break;
+      case EventKind::kSlowMachineStart:
+        plan.events.push_back(e);
+        plan.events.push_back({end_time, EventKind::kSlowMachineEnd, 0, 0});
+        break;
+      case EventKind::kFlakyNicStart:
+        e.param = 20 + rng.Uniform(180);  // 2% .. 20% per-link drop
+        plan.events.push_back(e);
+        plan.events.push_back({end_time, EventKind::kFlakyNicEnd, 0, 0});
+        break;
+      case EventKind::kPowerFailure:
+        plan.events.push_back(e);
+        // Restart recovery re-runs lease bootstrap and tx-state recovery on
+        // every machine; leave it extra room before the next fault.
+        t += 100 * kMillisecond;
+        break;
+      case EventKind::kRestartEmpty:
+        killed--;
+        plan.events.push_back(e);
+        t += 50 * kMillisecond;  // join + re-replication headroom
+        break;
+      case EventKind::kHeal:
+      case EventKind::kLossBurstEnd:
+      case EventKind::kSlowMachineEnd:
+      case EventKind::kFlakyNicEnd:
+        FARM_CHECK(false) << "end kinds are emitted with their start";
+        break;
+    }
+    t = end_time;
+  }
+  return plan;
+}
+
+}  // namespace chaos
+}  // namespace farm

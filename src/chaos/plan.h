@@ -1,0 +1,87 @@
+// Seeded chaos schedules: a ChaosPlan is a timeline of fault events fully
+// determined by (PlanOptions, seed). Plans serialize to a line-oriented text
+// format so a failing seed's schedule can be dumped, attached to a bug
+// report, edited by hand, and replayed byte-identically.
+//
+// Events carry pre-drawn randomness (`pick`) instead of drawing during
+// execution: the executor resolves `pick` against cluster state at fire time
+// (e.g. "pick mod number-of-backups"), so replaying a plan performs zero RNG
+// draws and cannot perturb the simulation's deterministic streams.
+#ifndef SRC_CHAOS_PLAN_H_
+#define SRC_CHAOS_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace farm {
+namespace chaos {
+
+enum class EventKind : uint8_t {
+  kKillPrimary = 1,       // kill the bank region's current primary
+  kKillBackup = 2,        // kill a backup of the bank region (pick selects)
+  kKillCm = 3,            // kill the current configuration manager
+  kPartitionMinority = 4, // isolate a minority of members (pick selects, param = size hint)
+  kHeal = 5,              // clear the active partition
+  kLossBurstStart = 6,    // datagram loss burst (param = loss in per-mille)
+  kLossBurstEnd = 7,
+  kSlowMachineStart = 8,  // gray failure: sustained CPU pressure (pick selects)
+  kSlowMachineEnd = 9,
+  kFlakyNicStart = 10,    // per-link drop/jitter/reorder/dup on one machine
+                          // (pick selects, param = drop in per-mille)
+  kFlakyNicEnd = 11,
+  kPowerFailure = 12,     // whole-cluster power failure + restart recovery
+  kRestartEmpty = 13,     // restart a killed machine empty and rejoin it
+  kPartitionBackup = 14,  // isolate one backup of the tracked region
+                          // (pick selects which); healed by kHeal
+};
+
+const char* EventKindName(EventKind k);
+// Returns false when `name` is not a known event kind.
+bool EventKindFromName(const std::string& name, EventKind* out);
+
+struct ChaosEvent {
+  SimTime at = 0;
+  EventKind kind = EventKind::kHeal;
+  // Pre-drawn randomness; resolved against cluster state when the event
+  // fires (target selection). Meaning depends on `kind`.
+  uint64_t pick = 0;
+  // Kind-specific magnitude (e.g. loss per-mille, partition size hint).
+  uint64_t param = 0;
+};
+
+struct PlanOptions {
+  int machines = 6;
+  int replication_factor = 3;
+  SimTime start = 60 * kMillisecond;      // first fault at/after this time
+  SimTime horizon = 900 * kMillisecond;   // run length; plans heal before it
+  int max_faults = 6;
+  bool allow_power_failure = true;
+  bool allow_restart = true;
+};
+
+struct ChaosPlan {
+  uint64_t seed = 0;
+  PlanOptions options;
+  std::vector<ChaosEvent> events;  // sorted by `at`
+
+  // Time of the last injected event; the cluster is fully healed after it
+  // (every generated plan closes its partition/loss/slow/flaky windows).
+  SimTime LastFaultTime() const;
+
+  // Line-oriented text form; Parse(ToText()) round-trips exactly.
+  std::string ToText() const;
+  static bool Parse(const std::string& text, ChaosPlan* out);
+
+  // Samples a fault timeline. Every draw comes from one Pcg32 seeded with
+  // `seed` on the chaos stream, so the plan is a pure function of
+  // (options, seed).
+  static ChaosPlan Generate(const PlanOptions& options, uint64_t seed);
+};
+
+}  // namespace chaos
+}  // namespace farm
+
+#endif  // SRC_CHAOS_PLAN_H_

@@ -11,6 +11,7 @@ uint64_t SimNowForLog(void* ctx) { return static_cast<Simulator*>(ctx)->Now(); }
 Cluster::Cluster(ClusterOptions options)
     : options_(std::move(options)), rng_(options_.seed) {
   fabric_ = std::make_unique<Fabric>(sim_, options_.cost);
+  fabric_->SeedFaultRng(options_.fault_seed);
   fabric_->BindStats(registry_);
   SetLogClock(&SimNowForLog, &sim_, this);
 
@@ -123,6 +124,20 @@ void Cluster::PowerFailureRestart() {
   for (auto& node : nodes_) {
     node->RestartRecovery();
   }
+}
+
+void Cluster::RestartMachineEmpty(MachineId m) {
+  FARM_CHECK(m < static_cast<MachineId>(options_.machines)) << "not a FaRM machine";
+  if (machines_[m]->alive()) {
+    machines_[m]->Kill();
+  }
+  machines_[m]->Reboot();
+  nodes_[m]->ColdRestart();
+  for (int j = 0; j < options_.machines; j++) {
+    Messenger::Reconnect(nodes_[m]->messenger(),
+                         nodes_[static_cast<size_t>(j)]->messenger());
+  }
+  nodes_[m]->BeginJoin();
 }
 
 void Cluster::KillFailureDomain(int domain) {

@@ -32,6 +32,9 @@ struct ClusterOptions {
   // (0 = every machine is its own domain).
   int failure_domains = 0;
   uint64_t seed = 1;
+  // Seed for the fabric's fault RNG (datagram loss + per-link chaos
+  // policies). The default reproduces pre-chaos traces byte-for-byte.
+  uint64_t fault_seed = 0x10552ULL;
 };
 
 class Cluster {
@@ -61,6 +64,12 @@ class Cluster {
 
   // Kills the FaRM process on a machine (it never comes back).
   void Kill(MachineId m) { machines_[m]->Kill(); }
+  // Restarts a FaRM machine as an EMPTY replacement process: kills it (if
+  // still alive), reboots the hardware, cold-restarts the node, re-wires
+  // fresh rings to every peer, and starts the join-retry loop that asks the
+  // CM to re-admit it. The machine comes back with no regions; data
+  // recovery re-replicates onto it once it is back in the configuration.
+  void RestartMachineEmpty(MachineId m);
   // Whole-cluster power failure: every machine reboots with its NVRAM
   // intact and runs restart recovery. Run the simulator afterwards so the
   // recovery votes/decisions complete.

@@ -182,6 +182,77 @@ Detached Node::RunRegionCreate(MachineId from, uint64_t correlation, uint32_t si
 }
 
 // ---------------------------------------------------------------------------
+// Rejoin (restart with empty state)
+// ---------------------------------------------------------------------------
+
+Detached Node::RunJoin(uint64_t restart_epoch) {
+  // Petition until a committed configuration includes us again: read the
+  // configuration znode to locate the current CM, ask it to admit us, and
+  // back off. Adoption arrives as a normal NEW-CONFIG.
+  while (machine_->alive() && restart_epoch == restart_epoch_ &&
+         !config_.Contains(id())) {
+    auto znode = co_await cluster_->zk().Read(id(), nullptr);
+    if (!machine_->alive() || restart_epoch != restart_epoch_ ||
+        config_.Contains(id())) {
+      co_return;
+    }
+    if (znode.ok() && !znode->data.empty()) {
+      Configuration current = Configuration::ParseBytes(znode->data);
+      if (!current.Contains(id()) && current.cm != kInvalidMachine &&
+          current.cm != id() && messenger_->ConnectedTo(current.cm)) {
+        BufWriter w;
+        w.PutU32(static_cast<uint32_t>(cluster_->FailureDomainOf(id())));
+        messenger_->SendMessage(current.cm, MsgType::kJoinRequest, w.Take(), -1);
+      }
+    }
+    co_await SleepFor(sim(), options_.join_retry_interval);
+  }
+}
+
+Detached Node::RunEvictionMonitor(uint64_t generation) {
+  if (options_.eviction_check_interval == 0) {
+    co_return;
+  }
+  while (machine_->alive() && generation == eviction_monitor_generation_) {
+    co_await SleepFor(sim(), options_.eviction_check_interval);
+    if (!machine_->alive() || generation != eviction_monitor_generation_) {
+      co_return;
+    }
+    // Only members police their own eviction; a cold-restarted machine's
+    // join loop owns the not-yet-admitted phase.
+    if (config_.id == 0 || !config_.Contains(id())) {
+      continue;
+    }
+    auto znode = co_await cluster_->zk().Read(id(), nullptr);
+    if (!machine_->alive() || generation != eviction_monitor_generation_) {
+      co_return;
+    }
+    if (!znode.ok() || znode->data.empty()) {
+      continue;  // e.g. partitioned from the coordination service
+    }
+    Configuration current = Configuration::ParseBytes(znode->data);
+    if (current.id >= config_.id && !current.Contains(id())) {
+      FARM_LOG(Warn) << "node " << id() << ": evicted from configuration "
+                     << current.id << "; restarting empty to rejoin";
+      // Restart as a fresh instance and petition to rejoin (the paper treats
+      // evicted machines as failed; a replacement process takes their slot).
+      cluster_->RestartMachineEmpty(id());
+      co_return;  // superseded: ColdRestart + BeginJoin arm fresh loops
+    }
+  }
+}
+
+void Node::HandleJoinRequest(MachineId from, BufReader& r) {
+  int domain = static_cast<int>(r.GetU32());
+  if (!IsCm() || config_.Contains(from)) {
+    return;  // not the CM (the joiner retries) or already a member
+  }
+  FARM_LOG(Info) << "node " << id() << ": join request from machine " << from;
+  pending_joins_[from] = domain;
+  StartReconfiguration({}, "join request");
+}
+
+// ---------------------------------------------------------------------------
 // Failure suspicion
 // ---------------------------------------------------------------------------
 
@@ -399,6 +470,19 @@ Detached Node::RunReconfiguration(std::vector<MachineId> suspects) {
     }
     next.failure_domains = std::move(fd);
   }
+  // Admit machines waiting to rejoin after a restart with empty state. They
+  // enter with no regions; RemapRegions below may immediately assign them as
+  // replacement backups for under-replicated regions.
+  std::map<MachineId, int> joins = pending_joins_;
+  for (const auto& [j, domain] : joins) {
+    if (std::find(next.machines.begin(), next.machines.end(), j) != next.machines.end() ||
+        std::find(suspects.begin(), suspects.end(), j) != suspects.end()) {
+      continue;
+    }
+    next.machines.push_back(j);
+    next.failure_domains[j] = domain;
+  }
+  std::sort(next.machines.begin(), next.machines.end());
   // Step 4: remap regions mapped to failed machines.
   RemapRegions(next);
 
@@ -411,6 +495,11 @@ Detached Node::RunReconfiguration(std::vector<MachineId> suspects) {
     FARM_LOG(Info) << "node " << id() << ": lost configuration CAS for id " << next.id;
     reconfig_in_flight_ = false;
     co_return;
+  }
+  // Joins folded into the committed configuration are no longer pending.
+  for (const auto& [j, domain] : joins) {
+    (void)domain;
+    pending_joins_.erase(j);
   }
 
   // Step 5: NEW-CONFIG to all members.

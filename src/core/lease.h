@@ -53,6 +53,12 @@ class LeaseManager {
   // Reconfiguration resets the lease protocol (NEW-CONFIG acts as a lease
   // request from a new CM).
   void OnNewConfig();
+  // Process restart with empty state: kill stale timer chains and forget
+  // granted leases. Timers re-arm when the node adopts a configuration.
+  void ColdRestart() {
+    epoch_++;
+    expiry_.clear();
+  }
 
   // Entry points from the transports.
   void OnDatagram(MachineId from, std::vector<uint8_t> payload);

@@ -51,6 +51,14 @@ void Messenger::Connect(Messenger& a, Messenger& b) {
   }
 }
 
+void Messenger::Reconnect(Messenger& a, Messenger& b) {
+  a.inbound_.erase(b.id());
+  a.outbound_.erase(b.id());
+  b.inbound_.erase(a.id());
+  b.outbound_.erase(a.id());
+  Connect(a, b);
+}
+
 bool Messenger::ReserveLog(MachineId dst, uint32_t payload_len) {
   auto it = outbound_.find(dst);
   FARM_CHECK(it != outbound_.end()) << "no ring to machine " << dst;

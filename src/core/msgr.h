@@ -44,6 +44,16 @@ class Messenger {
   // (a == b) give the local fast path when the coordinator is itself a
   // participant.
   static void Connect(Messenger& a, Messenger& b);
+  // Tears down any existing ring pair between the two nodes (both
+  // directions) and wires a fresh one. Used when a machine rejoins with
+  // empty state: the old rings' NVRAM space is abandoned (never recycled),
+  // which mirrors a replacement process registering new queue pairs.
+  static void Reconnect(Messenger& a, Messenger& b);
+  // Drops all rings (a cold process restart forgetting its queue pairs).
+  void Reset() {
+    inbound_.clear();
+    outbound_.clear();
+  }
   bool ConnectedTo(MachineId peer) const { return outbound_.count(peer) != 0; }
 
   MachineId id() const { return machine_.id(); }

@@ -63,6 +63,7 @@ Fabric& Node::fabric() { return cluster_->fabric(); }
 void Node::Bootstrap(const Configuration& initial) {
   config_ = initial;
   lease_->Start();
+  StartEvictionMonitor();
 }
 
 void Node::ReplayNvramLogs() {
@@ -77,6 +78,49 @@ void Node::RestartRecovery() {
   restart_recover_all_ = true;
   BeginTransactionStateRecovery();
   restart_recover_all_ = false;
+  // A power failure parks the previous monitor's in-flight awaits forever;
+  // arm a fresh one so the recovered instance still polices its membership.
+  StartEvictionMonitor();
+}
+
+void Node::ColdRestart() {
+  restart_epoch_++;
+  config_ = Configuration{};
+  last_drained_ = 0;
+  std::memset(store_->Data(control_block_addr_, 8), 0, 8);
+  replicas_.clear();
+  allocators_.clear();
+  ref_cache_.clear();
+  deferred_refs_.clear();
+  // next_local_tx_ is deliberately NOT reset: the machine id is reused, so
+  // the monotonic counter is what keeps post-restart TxIds distinct from
+  // pre-restart ones (the incarnation number of a real deployment).
+  inflight_.clear();
+  pending_truncations_.clear();
+  truncate_flush_armed_ = false;
+  pending_.clear();
+  log_index_.clear();
+  truncated_.clear();
+  pending_requests_.clear();
+  restart_recover_all_ = false;
+  pending_reconfig_.reset();
+  reconfig_in_flight_ = false;
+  pending_joins_.clear();
+  region_recovery_.clear();
+  decisions_.clear();
+  vote_timers_.clear();
+  new_backup_regions_.clear();
+  promoted_regions_.clear();
+  regions_active_sent_ = false;
+  regions_active_pending_.clear();
+  data_recovery_inflight_ = 0;
+  messenger_->Reset();
+  lease_->ColdRestart();
+}
+
+void Node::BeginJoin() {
+  RunJoin(restart_epoch_);
+  StartEvictionMonitor();
 }
 
 RegionReplica* Node::InstallReplica(RegionId r, uint32_t size, uint32_t object_stride) {
@@ -470,6 +514,18 @@ void Node::ProcessLock(MachineId from, uint64_t seq, const TxLogRecord& rec) {
   pending.coordinator = from;
   pending.lock_record = rec;
 
+  // Precise membership (section 3): reject lock requests from coordinators
+  // outside our configuration -- e.g. a machine evicted by a partition that
+  // is still running on a stale configuration. The failed lock reply makes
+  // it abort cleanly.
+  if (!config_.Contains(from)) {
+    BufWriter rej;
+    PutTxId(rej, rec.tx);
+    rej.PutU8(0);
+    messenger_->SendMessage(from, MsgType::kLockReply, rej.Take(), -1);
+    return;
+  }
+
   bool ok = true;
   std::vector<const WireWrite*> locked;
   for (const WireWrite& w : rec.writes) {
@@ -712,6 +768,9 @@ void Node::HandleMessage(MachineId from, MsgType type, std::vector<uint8_t> payl
       StartReconfiguration({suspect}, "reconfig request");
       break;
     }
+    case MsgType::kJoinRequest:
+      HandleJoinRequest(from, r);
+      break;
     case MsgType::kNewConfig: {
       Configuration cfg = Configuration::Parse(r);
       OnNewConfig(from, std::move(cfg));

@@ -64,6 +64,16 @@ struct NodeOptions {
   SimDuration alloc_scan_interval = 100 * kMicrosecond;
   SimDuration vote_timeout = 250 * kMicrosecond;
   int backup_cms = 2;                        // k backup CMs (CM successors)
+  // How often a machine restarted with empty state re-asks the CM to admit
+  // it until it appears in a committed configuration.
+  SimDuration join_retry_interval = 10 * kMillisecond;
+  // How often a live member checks the coordination service for its own
+  // eviction (restart-and-rejoin trigger). 0 disables the monitor.
+  SimDuration eviction_check_interval = 20 * kMillisecond;
+  // Chaos-only protocol mutation: commit without waiting for COMMIT-BACKUP
+  // hardware acks. Deliberately UNSAFE -- it exists so the chaos oracle can
+  // demonstrate it catches the resulting serializability violations.
+  bool chaos_skip_backup_ack = false;
 };
 
 // Per-node counters, backed by metrics cells. Copying a NodeStats snapshots
@@ -146,6 +156,15 @@ class Node {
   // locks resolved (section 5's durability discussion). Call on every node,
   // then run the simulator so votes and decisions flow.
   void RestartRecovery();
+  // Restart with EMPTY state (a replaced process): forgets all volatile
+  // protocol state, regions, and the adopted configuration. The TxId counter
+  // survives, standing in for the incarnation number a real system would
+  // fold into transaction ids. Cluster re-wires rings, then BeginJoin()
+  // petitions the CM until this machine is back in a configuration.
+  void ColdRestart();
+  // Spawns the join-retry loop (reads the configuration from the
+  // coordination service, sends kJoinRequest to its CM).
+  void BeginJoin();
   // Installs a replica for a region this node hosts (bootstrap/region-create).
   RegionReplica* InstallReplica(RegionId r, uint32_t size, uint32_t object_stride);
 
@@ -229,6 +248,14 @@ class Node {
   void ShipPendingBlockHeaders(RegionId r);
 
   // ---- CM-side duties (cm.cc) ----
+  void HandleJoinRequest(MachineId from, BufReader& r);
+  Detached RunJoin(uint64_t restart_epoch);
+  // Eviction monitor: periodically reads the authoritative configuration
+  // from the coordination service; a machine that finds itself evicted
+  // (alive but excluded) restarts empty and rejoins as a new instance, the
+  // paper's model for machines on the losing side of a healed partition.
+  Detached RunEvictionMonitor(uint64_t generation);
+  void StartEvictionMonitor() { RunEvictionMonitor(++eviction_monitor_generation_); }
   void HandleRegionCreate(MachineId from, BufReader& r);
   Detached RunRegionCreate(MachineId from, uint64_t correlation, uint32_t size,
                            uint32_t object_stride, RegionId colocate_with);
@@ -372,6 +399,13 @@ class Node {
   };
   std::optional<PendingReconfig> pending_reconfig_;  // CM side
   bool reconfig_in_flight_ = false;
+  // CM side: machines that asked to rejoin (joiner -> failure domain),
+  // folded into the next configuration's membership.
+  std::map<MachineId, int> pending_joins_;
+  // Bumped by ColdRestart so a superseded join loop exits.
+  uint64_t restart_epoch_ = 0;
+  // Bumped by StartEvictionMonitor so superseded monitor loops exit.
+  uint64_t eviction_monitor_generation_ = 0;
   std::map<RegionId, RegionRecovery> region_recovery_;
   std::map<TxId, DecisionState> decisions_;
   std::map<TxId, std::function<void()>> vote_timers_;

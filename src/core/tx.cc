@@ -435,12 +435,17 @@ Task<Status> Transaction::Commit() {
               *all_ok = false;
             }
             wg.Done();
-            if (*alive && wg.pending() == 0) {
+            // Under the skip-backup-ack ablation nobody waits on this phase;
+            // waking would spuriously rouse the COMMIT-PRIMARY await.
+            if (*alive && wg.pending() == 0 && !node_->options().chaos_skip_backup_ack) {
               WakePhase();
             }
           });
     }
-    if (wg.pending() > 0) {
+    // Chaos-only ablation: race ahead to COMMIT-PRIMARY without waiting for
+    // the backup hardware acks. This is the protocol bug the chaos oracle
+    // must catch (see NodeOptions::chaos_skip_backup_ack).
+    if (wg.pending() > 0 && !node_->options().chaos_skip_backup_ack) {
       bool woke2 = co_await AwaitPhase();
       if (recovery_resolution_.has_value()) {
         co_return FinishFromRecovery();
@@ -455,7 +460,7 @@ Task<Status> Transaction::Commit() {
     // Serializability across failures requires ALL backup acks before any
     // COMMIT-PRIMARY is written (section 4, correctness). A missing ack
     // means a failure: wait for recovery to decide the outcome.
-    if (!*all_ok || marked_recovering_) {
+    if (!node_->options().chaos_skip_backup_ack && (!*all_ok || marked_recovering_)) {
       bool resolved = co_await AwaitPhase();
       if (recovery_resolution_.has_value()) {
         co_return FinishFromRecovery();

@@ -49,6 +49,7 @@ enum class MsgType : uint8_t {
   kRegionsActive = 33,
   kAllRegionsActive = 34,
   kReconfigRequest = 35,  // non-CM asks a backup CM to reconfigure
+  kJoinRequest = 36,      // restarted machine asks the CM to re-admit it
   // Region allocation (section 3) and slab allocation (section 5.5).
   kRegionPrepare = 40,
   kRegionPrepareAck = 41,

@@ -37,6 +37,21 @@ void TraceOp(const char* name, MachineId src, HwThread* thread, const char* coun
 #endif
 }
 
+// Injected faults are rare and load-bearing for chaos debugging, so they
+// trace whenever a tracer is attached (not gated on capture_net).
+void TraceFault(const char* name, MachineId src) {
+#ifndef FARM_TRACE_DISABLED
+  trace::Tracer* tracer = trace::Global();
+  if (tracer == nullptr) {
+    return;
+  }
+  tracer->Instant(static_cast<uint32_t>(src), 0, "chaos", name);
+#else
+  (void)name;
+  (void)src;
+#endif
+}
+
 }  // namespace
 
 void FabricStats::BindTo(metrics::Registry& reg) {
@@ -47,6 +62,10 @@ void FabricStats::BindTo(metrics::Registry& reg) {
   datagrams = reg.GetCounter("fabric_datagrams");
   rdma_bytes = reg.GetCounter("fabric_rdma_bytes");
   rpc_bytes = reg.GetCounter("fabric_rpc_bytes");
+  faults_dropped = reg.GetCounter("fabric_fault_dropped");
+  faults_delayed = reg.GetCounter("fabric_fault_delayed");
+  faults_duplicated = reg.GetCounter("fabric_fault_duplicated");
+  faults_reordered = reg.GetCounter("fabric_fault_reordered");
 }
 
 void FabricStats::Reset() {
@@ -57,6 +76,10 @@ void FabricStats::Reset() {
   datagrams.Reset();
   rdma_bytes.Reset();
   rpc_bytes.Reset();
+  faults_dropped.Reset();
+  faults_delayed.Reset();
+  faults_duplicated.Reset();
+  faults_reordered.Reset();
 }
 
 void Fabric::AddMachine(Machine* machine, RdmaMemory* memory, int num_nics) {
@@ -96,6 +119,71 @@ void Fabric::SetPartition(const std::vector<std::vector<MachineId>>& groups) {
 void Fabric::ClearPartition() {
   partitioned_ = false;
   std::fill(partition_group_.begin(), partition_group_.end(), 0);
+}
+
+void Fabric::SetLinkFaults(MachineId src, MachineId dst, LinkFaults faults) {
+  if (!faults.Any()) {
+    link_faults_.erase({src, dst});
+    return;
+  }
+  link_faults_[{src, dst}] = faults;
+}
+
+void Fabric::SetMachineLinkFaults(MachineId m, LinkFaults faults) {
+  for (MachineId peer = 0; peer < endpoints_.size(); peer++) {
+    if (peer == m || endpoints_[peer].machine == nullptr) {
+      continue;
+    }
+    SetLinkFaults(m, peer, faults);
+    SetLinkFaults(peer, m, faults);
+  }
+}
+
+void Fabric::ClearLinkFaults(MachineId src, MachineId dst) {
+  link_faults_.erase({src, dst});
+}
+
+Fabric::FaultOutcome Fabric::DrawFaults(MachineId src, MachineId dst) {
+  FaultOutcome out;
+  if (link_faults_.empty()) {
+    return out;  // fault-free runs draw no randomness here
+  }
+  auto it = link_faults_.find({src, dst});
+  if (it == link_faults_.end()) {
+    return out;
+  }
+  const LinkFaults& f = it->second;
+  // Draw order is fixed (drop, latency, reorder, dup) so a policy change in
+  // one dimension does not shift the stream consumed by the others.
+  if (f.drop > 0 && fault_rng_.Bernoulli(f.drop)) {
+    out.drop = true;
+    stats_.faults_dropped++;
+    TraceFault("fault_drop", src);
+    return out;
+  }
+  out.delay = f.extra_latency;
+  if (f.jitter > 0) {
+    out.delay += fault_rng_.Uniform64(f.jitter);
+  }
+  if (f.reorder > 0 && fault_rng_.Bernoulli(f.reorder)) {
+    // Holding one message back past its successors is a bounded reorder on
+    // an otherwise FIFO link.
+    SimDuration window = f.reorder_window > 0 ? f.reorder_window : kMillisecond;
+    out.delay += fault_rng_.Uniform64(window);
+    stats_.faults_reordered++;
+    TraceFault("fault_reorder", src);
+  }
+  if (out.delay > 0) {
+    stats_.faults_delayed++;
+    TraceFault("fault_delay", src);
+  }
+  if (f.dup > 0 && fault_rng_.Bernoulli(f.dup)) {
+    out.duplicate = true;
+    out.dup_delay = out.delay + (f.jitter > 0 ? fault_rng_.Uniform64(f.jitter) : 0);
+    stats_.faults_duplicated++;
+    TraceFault("fault_dup", src);
+  }
+  return out;
 }
 
 bool Fabric::Reachable(MachineId a, MachineId b) const {
@@ -283,10 +371,16 @@ Future<NetResult> Fabric::Call(MachineId src, MachineId dst, uint16_t service,
     if (!IsAlive(src) || !Reachable(src, dst) || !IsAlive(dst)) {
       return;  // timeout will fire
     }
+    // Request-leg faults: a dropped request models RC retry exhaustion and
+    // surfaces as the client-side timeout.
+    FaultOutcome req_fault = DrawFaults(src, dst);
+    if (req_fault.drop) {
+      return;  // timeout will fire
+    }
     Endpoint& src_ep = Ep(src);
     NicPort& src_nic = PickNic(src_ep);
     SimTime sent = src_nic.Acquire(sim_.Now(), cost_.NicOccupancy(req_bytes));
-    SimTime arrival = sent + cost_.wire_latency;
+    SimTime arrival = sent + cost_.wire_latency + req_fault.delay;
 
     sim_.At(arrival, [=, this, request = std::move(request)]() mutable {
       if (!Reachable(src, dst) || !IsAlive(dst)) {
@@ -317,23 +411,36 @@ Future<NetResult> Fabric::Call(MachineId src, MachineId dst, uint16_t service,
           if (!IsAlive(dst) || !Reachable(src, dst)) {
             return;
           }
+          // Reply-leg faults: drops surface as the client timeout; a
+          // duplicated reply is absorbed by the `decided` guard, modeling
+          // an at-most-once completion over an at-least-once wire.
+          FaultOutcome resp_fault = DrawFaults(dst, src);
+          if (resp_fault.drop) {
+            return;  // timeout will fire
+          }
           Endpoint& dep2 = Ep(dst);
           NicPort& out_nic = PickNic(dep2);
           uint64_t resp_bytes = kVerbHeaderBytes + resp.size();
           stats_.rpc_bytes += resp.size();
           SimTime resp_sent = out_nic.Acquire(sim_.Now(), cost_.NicOccupancy(resp_bytes));
-          SimTime resp_arrival = resp_sent + cost_.wire_latency;
-          sim_.At(resp_arrival, [=, this, resp = std::move(resp)]() mutable {
-            if (!IsAlive(src)) {
-              return;
-            }
-            Endpoint& sep = Ep(src);
-            NicPort& in_nic = PickNic(sep);
-            SimTime delivered = in_nic.Acquire(sim_.Now(), cost_.NicOccupancy(resp_bytes));
-            sim_.At(delivered, [complete, resp = std::move(resp)]() mutable {
-              complete(NetResult{OkStatus(), std::move(resp)});
+          auto deliver = [=, this](SimDuration extra, std::vector<uint8_t> copy) {
+            SimTime resp_arrival = resp_sent + cost_.wire_latency + extra;
+            sim_.At(resp_arrival, [=, this, copy = std::move(copy)]() mutable {
+              if (!IsAlive(src)) {
+                return;
+              }
+              Endpoint& sep = Ep(src);
+              NicPort& in_nic = PickNic(sep);
+              SimTime delivered = in_nic.Acquire(sim_.Now(), cost_.NicOccupancy(resp_bytes));
+              sim_.At(delivered, [complete, copy = std::move(copy)]() mutable {
+                complete(NetResult{OkStatus(), std::move(copy)});
+              });
             });
-          });
+          };
+          if (resp_fault.duplicate) {
+            deliver(resp_fault.dup_delay, resp);
+          }
+          deliver(resp_fault.delay, std::move(resp));
         };
 
         handler_thread.Run(handler_cost,
@@ -358,7 +465,13 @@ void Fabric::SendDatagram(MachineId src, MachineId dst, std::vector<uint8_t> pay
   if (!IsAlive(src) || !Reachable(src, dst) || !IsAlive(dst)) {
     return;
   }
-  if (datagram_loss_ > 0 && loss_rng_.Bernoulli(datagram_loss_)) {
+  // The legacy global loss draw stays first so fault-free runs consume the
+  // identical RNG stream they did before per-link policies existed.
+  if (datagram_loss_ > 0 && fault_rng_.Bernoulli(datagram_loss_)) {
+    return;
+  }
+  FaultOutcome fault = DrawFaults(src, dst);
+  if (fault.drop) {
     return;
   }
   uint64_t bytes = kVerbHeaderBytes + payload.size();
@@ -371,28 +484,34 @@ void Fabric::SendDatagram(MachineId src, MachineId dst, std::vector<uint8_t> pay
     Endpoint& src_ep = Ep(src);
     sent = PickNic(src_ep).Acquire(sim_.Now(), cost_.NicOccupancy(bytes));
   }
-  SimTime arrival = sent + cost_.wire_latency;
-  sim_.At(arrival, [=, this, payload = std::move(payload)]() mutable {
-    if (!IsAlive(dst) || !Reachable(src, dst)) {
-      return;
-    }
-    SimTime delivered;
-    if (bypass_nic_queue) {
-      delivered = sim_.Now() + cost_.NicOccupancy(bytes);
-    } else {
-      Endpoint& dst_ep = Ep(dst);
-      delivered = PickNic(dst_ep).Acquire(sim_.Now(), cost_.NicOccupancy(bytes));
-    }
-    sim_.At(delivered, [this, src, dst, payload = std::move(payload)]() mutable {
-      if (!IsAlive(dst)) {
+  auto deliver = [=, this](SimDuration extra, std::vector<uint8_t> copy) {
+    SimTime arrival = sent + cost_.wire_latency + extra;
+    sim_.At(arrival, [=, this, copy = std::move(copy)]() mutable {
+      if (!IsAlive(dst) || !Reachable(src, dst)) {
         return;
       }
-      Endpoint& ep = Ep(dst);
-      if (ep.datagram_handler) {
-        ep.datagram_handler(src, std::move(payload));
+      SimTime delivered;
+      if (bypass_nic_queue) {
+        delivered = sim_.Now() + cost_.NicOccupancy(bytes);
+      } else {
+        Endpoint& dst_ep = Ep(dst);
+        delivered = PickNic(dst_ep).Acquire(sim_.Now(), cost_.NicOccupancy(bytes));
       }
+      sim_.At(delivered, [this, src, dst, copy = std::move(copy)]() mutable {
+        if (!IsAlive(dst)) {
+          return;
+        }
+        Endpoint& ep = Ep(dst);
+        if (ep.datagram_handler) {
+          ep.datagram_handler(src, std::move(copy));
+        }
+      });
     });
-  });
+  };
+  if (fault.duplicate) {
+    deliver(fault.dup_delay, payload);
+  }
+  deliver(fault.delay, std::move(payload));
 }
 
 }  // namespace farm

@@ -227,6 +227,115 @@ TEST_F(FabricTest, DatagramLossDropsSilently) {
   EXPECT_EQ(delivered, 0);
 }
 
+TEST_F(FabricTest, LinkFaultDropKillsOneDirectedLink) {
+  LinkFaults lf;
+  lf.drop = 1.0;
+  fabric_.SetLinkFaults(0, 2, lf);
+  int to2 = 0;
+  int to3 = 0;
+  fabric_.SetDatagramHandler(2, [&](MachineId, std::vector<uint8_t>) { to2++; });
+  fabric_.SetDatagramHandler(3, [&](MachineId, std::vector<uint8_t>) { to3++; });
+  for (int i = 0; i < 20; i++) {
+    fabric_.SendDatagram(0, 2, {1});  // faulted link
+    fabric_.SendDatagram(0, 3, {1});  // clean link
+    fabric_.SendDatagram(1, 2, {1});  // clean link, same destination
+  }
+  sim_.Run();
+  EXPECT_EQ(to2, 20);  // only the 1->2 copies
+  EXPECT_EQ(to3, 20);
+  EXPECT_EQ(fabric_.stats().faults_dropped, 20u);
+  fabric_.ClearLinkFaults(0, 2);
+  fabric_.SendDatagram(0, 2, {1});
+  sim_.Run();
+  EXPECT_EQ(to2, 21);  // link works again after clearing
+}
+
+TEST_F(FabricTest, LinkFaultDuplicatesAndCounts) {
+  LinkFaults lf;
+  lf.dup = 1.0;
+  fabric_.SetLinkFaults(0, 2, lf);
+  int delivered = 0;
+  fabric_.SetDatagramHandler(2, [&](MachineId, std::vector<uint8_t>) { delivered++; });
+  for (int i = 0; i < 10; i++) {
+    fabric_.SendDatagram(0, 2, {1});
+  }
+  sim_.Run();
+  EXPECT_EQ(delivered, 20);
+  EXPECT_EQ(fabric_.stats().faults_duplicated, 10u);
+}
+
+TEST_F(FabricTest, LinkFaultExtraLatencyDelaysDelivery) {
+  SimTime baseline = 0;
+  SimTime slowed = 0;
+  fabric_.SetDatagramHandler(2, [&](MachineId, std::vector<uint8_t>) { baseline = sim_.Now(); });
+  fabric_.SendDatagram(0, 2, {1});
+  sim_.Run();
+
+  LinkFaults lf;
+  lf.extra_latency = kMillisecond;
+  fabric_.SetLinkFaults(0, 2, lf);
+  fabric_.SetDatagramHandler(2, [&](MachineId, std::vector<uint8_t>) { slowed = sim_.Now(); });
+  SimTime sent_at = sim_.Now();
+  fabric_.SendDatagram(0, 2, {1});
+  sim_.Run();
+  EXPECT_GE(slowed - sent_at, baseline + kMillisecond);
+  EXPECT_EQ(fabric_.stats().faults_delayed, 1u);
+}
+
+TEST_F(FabricTest, MachineLinkFaultsCoverBothDirections) {
+  LinkFaults lf;
+  lf.drop = 1.0;
+  fabric_.SetMachineLinkFaults(2, lf);
+  int at2 = 0;
+  int at0 = 0;
+  fabric_.SetDatagramHandler(2, [&](MachineId, std::vector<uint8_t>) { at2++; });
+  fabric_.SetDatagramHandler(0, [&](MachineId, std::vector<uint8_t>) { at0++; });
+  fabric_.SendDatagram(0, 2, {1});  // into the flaky NIC
+  fabric_.SendDatagram(2, 0, {1});  // out of the flaky NIC
+  fabric_.SendDatagram(1, 0, {1});  // unrelated link
+  sim_.Run();
+  EXPECT_EQ(at2, 0);
+  EXPECT_EQ(at0, 1);
+}
+
+// Same fault seed => identical drop/dup/reorder/jitter decisions, delivery
+// times and all. The chaos replay path depends on this.
+TEST(FabricFaultDeterminism, SameSeedSameSchedule) {
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    Fabric fabric(sim, CostModel{});
+    std::vector<std::unique_ptr<Machine>> machines;
+    std::vector<std::unique_ptr<NvramStore>> stores;
+    for (int i = 0; i < 2; i++) {
+      machines.push_back(std::make_unique<Machine>(sim, static_cast<MachineId>(i), 4, i));
+      stores.push_back(std::make_unique<NvramStore>());
+      fabric.AddMachine(machines.back().get(), stores.back().get());
+    }
+    fabric.SeedFaultRng(seed);
+    LinkFaults lf;
+    lf.drop = 0.3;
+    lf.dup = 0.2;
+    lf.reorder = 0.3;
+    lf.reorder_window = 200 * kMicrosecond;
+    lf.jitter = 50 * kMicrosecond;
+    fabric.SetLinkFaults(0, 1, lf);
+    std::vector<std::pair<SimTime, uint8_t>> deliveries;
+    fabric.SetDatagramHandler(1, [&](MachineId, std::vector<uint8_t> p) {
+      deliveries.emplace_back(sim.Now(), p[0]);
+    });
+    for (int i = 0; i < 64; i++) {
+      fabric.SendDatagram(0, 1, {static_cast<uint8_t>(i)});
+    }
+    sim.Run();
+    return deliveries;
+  };
+  auto a = run(7);
+  auto b = run(7);
+  EXPECT_EQ(a, b);
+  auto c = run(8);
+  EXPECT_NE(a, c) << "different seeds should draw a different schedule";
+}
+
 TEST_F(FabricTest, StatsCountOps) {
   uint64_t addr = stores_[1]->Allocate(64);
   auto coro = [&]() -> Task<void> {

@@ -393,6 +393,158 @@ TEST_F(RecoveryTest, MinorityPartitionStalls) {
   EXPECT_TRUE(s->ok()) << s->ToString();
 }
 
+TEST_F(RecoveryTest, PartitionHealEvictedMachinesRejoin) {
+  Boot(5);
+  RegionId rid = MustCreateRegion(*cluster_, 64 << 10, 16);
+  GlobalAddr a{rid, 0};
+  ASSERT_TRUE(RunTask(*cluster_, WriteValue(0, a, 1))->ok());
+
+  // Isolate {0,1} (including the CM) exactly as MinorityPartitionStalls,
+  // then heal after the majority has evicted them.
+  cluster_->fabric().SetPartition({{0, 1}, {2, 3, 4, 5, 6, 7}});
+  ASSERT_TRUE(RunUntil(
+      *cluster_,
+      [&]() {
+        for (MachineId m : {2u, 3u, 4u}) {
+          const Configuration& cfg = cluster_->node(m).config();
+          if (cfg.Contains(0) || cfg.Contains(1)) {
+            return false;
+          }
+        }
+        return true;
+      },
+      2 * kSecond));
+  cluster_->fabric().ClearPartition();
+
+  // Commits resume right away on the surviving members.
+  auto s = RunTask(*cluster_, WriteValue(2, a, 2), 3 * kSecond);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->ok()) << s->ToString();
+
+  // The healed minority discovers its eviction from the coordination
+  // service, restarts empty, and rejoins as new instances: every machine
+  // converges back to one five-member configuration.
+  ASSERT_TRUE(RunUntil(
+      *cluster_,
+      [&]() {
+        for (int i = 0; i < 5; i++) {
+          const Configuration& cfg = cluster_->node(static_cast<MachineId>(i)).config();
+          if (cfg.machines.size() != 5u || !cfg.Contains(0) || !cfg.Contains(1)) {
+            return false;
+          }
+        }
+        return true;
+      },
+      3 * kSecond));
+
+  // A rejoined machine works as a coordinator again.
+  auto v = RunTask(*cluster_, ReadValue(0, a), 3 * kSecond);
+  ASSERT_TRUE(v.has_value() && v->ok());
+  EXPECT_EQ(v->value(), 2u);
+  EXPECT_FALSE(cluster_->AnyRegionLost());
+}
+
+TEST_F(RecoveryTest, PowerFailureDuringPartitionRecovers) {
+  Boot(5);
+  RegionId rid = MustCreateRegion(*cluster_, 64 << 10, 16);
+  GlobalAddr a{rid, 0};
+  ASSERT_TRUE(RunTask(*cluster_, WriteValue(0, a, 7))->ok());
+  cluster_->RunFor(30 * kMillisecond);  // truncation applies at backups
+
+  // Cut the power while a partition is in force. The majority side (3 of 5
+  // machines plus the zk replicas) must come back and recover on its own;
+  // 3 replicas across 5 machines guarantees it holds at least one copy.
+  cluster_->fabric().SetPartition({{0, 1}, {2, 3, 4, 5, 6, 7}});
+  cluster_->RunFor(15 * kMillisecond);
+  cluster_->PowerFailureRestart();
+  cluster_->RunFor(500 * kMillisecond);
+
+  auto v = RunTask(*cluster_, ReadValue(2, a), 3 * kSecond);
+  ASSERT_TRUE(v.has_value() && v->ok()) << (v->ok() ? "" : v->status().ToString());
+  EXPECT_EQ(v->value(), 7u);
+  auto s = RunTask(*cluster_, WriteValue(2, a, 8), 3 * kSecond);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->ok()) << s->ToString();
+  EXPECT_FALSE(cluster_->AnyRegionLost());
+
+  // After the partition heals everyone converges on one configuration and
+  // the data is still there.
+  cluster_->fabric().ClearPartition();
+  ASSERT_TRUE(RunUntil(
+      *cluster_,
+      [&]() {
+        for (int i = 0; i < 5; i++) {
+          const Configuration& cfg = cluster_->node(static_cast<MachineId>(i)).config();
+          if (cfg.machines.size() != 5u) {
+            return false;
+          }
+        }
+        return true;
+      },
+      3 * kSecond));
+  auto v2 = RunTask(*cluster_, ReadValue(LiveCoordinator(), a), 3 * kSecond);
+  ASSERT_TRUE(v2.has_value() && v2->ok());
+  EXPECT_EQ(v2->value(), 8u);
+}
+
+TEST_F(RecoveryTest, PowerFailureWithDatagramLossRecovers) {
+  Boot(5);
+  RegionId rid = MustCreateRegion(*cluster_, 64 << 10, 16);
+  GlobalAddr a{rid, 0};
+  ASSERT_TRUE(RunTask(*cluster_, WriteValue(0, a, 9))->ok());
+  cluster_->RunFor(30 * kMillisecond);
+
+  // Restart recovery (probes, votes, decisions) must ride out a lossy
+  // datagram fabric: every RPC involved retries until acked.
+  cluster_->fabric().set_datagram_loss(0.05);
+  cluster_->PowerFailureRestart();
+  cluster_->RunFor(500 * kMillisecond);
+
+  auto v = RunTask(*cluster_, ReadValue(LiveCoordinator(), a), 3 * kSecond);
+  ASSERT_TRUE(v.has_value() && v->ok()) << (v->ok() ? "" : v->status().ToString());
+  EXPECT_EQ(v->value(), 9u);
+  auto s = RunTask(*cluster_, WriteValue(LiveCoordinator(), a, 10), 3 * kSecond);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->ok()) << s->ToString();
+  EXPECT_FALSE(cluster_->AnyRegionLost());
+  cluster_->fabric().set_datagram_loss(0.0);
+}
+
+TEST_F(RecoveryTest, RestartedEmptyMachineRejoins) {
+  Boot(5);
+  RegionId rid = MustCreateRegion(*cluster_, 64 << 10, 16);
+  GlobalAddr a{rid, 0};
+  ASSERT_TRUE(RunTask(*cluster_, WriteValue(0, a, 3))->ok());
+
+  // Restart a backup as an empty replacement process: the old instance is
+  // evicted, the new one petitions the CM and is admitted with no regions.
+  const RegionPlacement* p = cluster_->node(0).config().Placement(rid);
+  MachineId victim = p->backups[0];
+  cluster_->RestartMachineEmpty(victim);
+  ASSERT_TRUE(RunUntil(
+      *cluster_,
+      [&]() {
+        for (int i = 0; i < 5; i++) {
+          const Configuration& cfg = cluster_->node(static_cast<MachineId>(i)).config();
+          if (cfg.machines.size() != 5u || !cfg.Contains(victim)) {
+            return false;
+          }
+        }
+        return true;
+      },
+      3 * kSecond));
+
+  // The committed value survived (re-replication restores f+1 copies) and
+  // the rejoined machine coordinates transactions again.
+  auto v = RunTask(*cluster_, ReadValue(victim, a), 3 * kSecond);
+  ASSERT_TRUE(v.has_value() && v->ok());
+  EXPECT_EQ(v->value(), 3u);
+  auto s = RunTask(*cluster_, WriteValue(victim, a, 4), 3 * kSecond);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->ok()) << s->ToString();
+  EXPECT_FALSE(cluster_->AnyRegionLost());
+}
+
 TEST_F(RecoveryTest, CommittedDataIsInNvramOfAllReplicas) {
   Boot();
   RegionId rid = MustCreateRegion(*cluster_, 64 << 10, 16);

@@ -1,0 +1,138 @@
+// chaos_repro: run seeded chaos sweeps and replay dumped schedules.
+//
+//   chaos_repro --seed=42            run one seed, print the outcome
+//   chaos_repro --sweep=20           run seeds 1..20, fail on first violation
+//   chaos_repro --sweep=20 --base=100  sweep seeds 101..120
+//   chaos_repro --plan=FILE          replay a dumped schedule file
+//   chaos_repro --dump-dir=DIR       write failing schedules + event logs here
+//   chaos_repro --mutate             enable the skip-backup-ack protocol bug
+//
+// Exit status is 0 when every run passes its invariants, 1 otherwise.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/chaos/harness.h"
+#include "src/chaos/plan.h"
+
+namespace {
+
+using farm::chaos::ChaosPlan;
+using farm::chaos::ChaosRunOptions;
+using farm::chaos::ChaosRunResult;
+
+struct Args {
+  uint64_t seed = 0;
+  int sweep = 0;
+  uint64_t base = 0;
+  std::string plan_file;
+  std::string dump_dir;
+  bool mutate = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    auto value = [&arg](const char* key) -> const char* {
+      size_t n = std::strlen(key);
+      return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* seed = value("--seed=")) {
+      out->seed = std::strtoull(seed, nullptr, 10);
+    } else if (const char* sweep = value("--sweep=")) {
+      out->sweep = std::atoi(sweep);
+    } else if (const char* base = value("--base=")) {
+      out->base = std::strtoull(base, nullptr, 10);
+    } else if (const char* plan = value("--plan=")) {
+      out->plan_file = plan;
+    } else if (const char* dump = value("--dump-dir=")) {
+      out->dump_dir = dump;
+    } else if (arg == "--mutate") {
+      out->mutate = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void DumpFailure(const Args& args, const ChaosRunResult& res) {
+  if (args.dump_dir.empty()) {
+    return;
+  }
+  std::string base = args.dump_dir + "/chaos-seed-" + std::to_string(res.plan.seed);
+  std::ofstream plan_out(base + ".plan");
+  plan_out << res.plan.ToText();
+  std::ofstream log_out(base + ".log");
+  log_out << "failure: " << res.failure << "\n";
+  log_out << "commits: " << res.commits << " unknown: " << res.unknown_outcomes << "\n";
+  for (const auto& line : res.event_log) {
+    log_out << line << "\n";
+  }
+  std::cerr << "dumped " << base << ".plan (replay with --plan=)\n";
+}
+
+bool ReportRun(const Args& args, const ChaosRunResult& res) {
+  std::ostringstream events;
+  events << res.event_log.size();
+  std::cout << "seed " << res.plan.seed << ": " << (res.ok ? "ok" : "FAIL") << " ("
+            << res.commits << " commits, " << res.unknown_outcomes << " unknown outcomes, "
+            << events.str() << " events)";
+  if (!res.ok) {
+    std::cout << " -- " << res.failure;
+  }
+  std::cout << "\n";
+  if (!res.ok) {
+    DumpFailure(args, res);
+  }
+  return res.ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return 2;
+  }
+
+  ChaosRunOptions opts;
+  opts.mutate_skip_backup_ack = args.mutate;
+
+  if (!args.plan_file.empty()) {
+    std::ifstream in(args.plan_file);
+    if (!in) {
+      std::cerr << "cannot open " << args.plan_file << "\n";
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    ChaosPlan plan;
+    if (!ChaosPlan::Parse(buf.str(), &plan)) {
+      std::cerr << "cannot parse " << args.plan_file << "\n";
+      return 2;
+    }
+    opts.seed = plan.seed;
+    return ReportRun(args, RunChaosPlan(opts, plan)) ? 0 : 1;
+  }
+
+  if (args.sweep > 0) {
+    int failures = 0;
+    for (int i = 1; i <= args.sweep; i++) {
+      opts.seed = args.base + static_cast<uint64_t>(i);
+      if (!ReportRun(args, RunChaos(opts))) {
+        failures++;
+      }
+    }
+    std::cout << (args.sweep - failures) << "/" << args.sweep << " seeds passed\n";
+    return failures == 0 ? 0 : 1;
+  }
+
+  opts.seed = args.seed;
+  return ReportRun(args, RunChaos(opts)) ? 0 : 1;
+}

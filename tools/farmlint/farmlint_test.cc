@@ -188,6 +188,19 @@ TEST(RuleFixtureTest, UnorderedDeclIsOffByDefault) {
   EXPECT_EQ(hits["ptr-key"], 1);  // default rules: ptr-key still on
 }
 
+TEST(RuleFixtureTest, ChaosRngIsOffByDefault) {
+  auto hits = LintFixture("chaosdir/plan_rng.cc", DefaultRules());
+  EXPECT_EQ(hits.count("chaos-rng"), 0u);
+}
+
+TEST(RuleFixtureTest, ChaosRngFlagsLiteralSeeds) {
+  std::set<std::string> enabled = DefaultRules();
+  enabled.insert("chaos-rng");
+  auto hits = LintFixture("chaosdir/plan_rng.cc", enabled);
+  EXPECT_EQ(hits["chaos-rng"], 2);
+  EXPECT_EQ(hits.size(), 1u) << "plan-derived seeds must not fire";
+}
+
 // ---------------------------------------------------------------------------
 // Driver: per-directory config + end-to-end run
 // ---------------------------------------------------------------------------
@@ -214,10 +227,25 @@ TEST(DriverTest, DiscoverSkipsNonSource) {
   EXPECT_NE(files[0].find("decl_only.cc"), std::string::npos);
 }
 
+TEST(DriverTest, ChaosDirEnablesChaosRng) {
+  std::set<std::string> enabled =
+      ResolveEnabledRules(FARMLINT_TESTDATA, Testdata("chaosdir/plan_rng.cc"));
+  EXPECT_EQ(enabled.count("chaos-rng"), 1u);
+
+  DriverOptions options;
+  options.root = FARMLINT_TESTDATA;
+  options.paths = {Testdata("chaosdir")};
+  std::ostringstream out;
+  int n = RunFarmlint(options, out);
+  EXPECT_EQ(n, 2) << out.str();
+  EXPECT_NE(out.str().find("chaos-rng"), std::string::npos) << out.str();
+}
+
 TEST(DriverTest, KnownRuleNames) {
   EXPECT_TRUE(IsKnownRule("wall-clock"));
   EXPECT_TRUE(IsKnownRule("unordered-iter"));
   EXPECT_FALSE(IsKnownRule("no-such-rule"));
+  EXPECT_TRUE(IsKnownRule("chaos-rng"));
 }
 
 }  // namespace

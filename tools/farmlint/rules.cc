@@ -52,6 +52,9 @@ const std::vector<RuleInfo> kRules = {
     {"unordered-decl", false,
      "unordered container declared in a protocol-order-sensitive directory; "
      "justify with an allow comment or use an ordered container"},
+    {"chaos-rng", false,
+     "Pcg32 seeded with a literal in chaos code; all chaos randomness must "
+     "derive from the plan seed or a dumped schedule cannot replay it"},
     {"ptr-key", true,
      "container ordered/keyed by pointer value; addresses differ across runs (ASLR, "
      "allocation order)"},
@@ -334,6 +337,33 @@ void CheckUnorderedDecl(const std::vector<const Token*>& sig, Reporter& rep) {
   }
 }
 
+// Chaos schedules must be a pure function of (config, seed): every Pcg32 in
+// chaos code has to be seeded from the plan seed (a variable or a derivation
+// like HashCombine(seed, ...)), never from a hard-coded literal -- a literal
+// seed is invisible to the dumped schedule and breaks replay.
+void CheckChaosRng(const std::vector<const Token*>& sig, Reporter& rep) {
+  for (size_t i = 0; i < sig.size(); ++i) {
+    const Token* t = sig[i];
+    if (t->kind != TokKind::kIdentifier || t->in_directive || t->text != "Pcg32") {
+      continue;
+    }
+    // `Pcg32(...)` temporary or `Pcg32 name(...)` / `Pcg32 name{...}` decl.
+    size_t open = i + 1;
+    if (open < sig.size() && sig[open]->kind == TokKind::kIdentifier) {
+      open++;
+    }
+    if (open >= sig.size() ||
+        (!IsPunct(sig[open], "(") && !IsPunct(sig[open], "{"))) {
+      continue;
+    }
+    if (open + 1 < sig.size() && sig[open + 1]->kind == TokKind::kNumber) {
+      rep.Report("chaos-rng", t->line, t->col,
+                 "Pcg32 seeded with a literal; derive the seed from the chaos "
+                 "plan seed so dumped schedules replay identically");
+    }
+  }
+}
+
 void CheckKeyTypes(const std::vector<const Token*>& sig, Reporter& rep) {
   for (size_t i = 0; i + 1 < sig.size(); ++i) {
     const Token* t = sig[i];
@@ -483,6 +513,7 @@ std::vector<Diagnostic> Linter::Lint(const FileInput& file,
   }
   CheckUnorderedIter(sig, unordered, rep);
   CheckUnorderedDecl(sig, rep);
+  CheckChaosRng(sig, rep);
   CheckKeyTypes(sig, rep);
   CheckHeaderHygiene(file, sig, rep);
   std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {

@@ -1,0 +1,23 @@
+// Fixture for the chaos-rng rule: Pcg32 streams in chaos code must be
+// seeded from the plan seed, never from hard-coded literals.
+#include <cstdint>
+
+struct Pcg32 {
+  explicit Pcg32(uint64_t seed, uint64_t stream = 0);
+};
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+void Good(uint64_t seed) {
+  constexpr uint64_t kStream = 0xc4a05c4a05ULL;
+  Pcg32 plan_rng(seed, kStream);                  // seed is plan-derived: ok
+  Pcg32 derived(HashCombine(seed, 0x77ULL));      // derivation call: ok
+  (void)plan_rng;
+  (void)derived;
+}
+
+void Bad() {
+  Pcg32 adhoc(42);        // literal seed: not replayable from a dumped plan
+  Pcg32 braced{0x1234};   // brace-init literal seed
+  (void)adhoc;
+  (void)braced;
+}
