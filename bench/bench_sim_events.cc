@@ -1,0 +1,114 @@
+// Simulator event-queue microbenchmark: wall-clock events/sec.
+//
+// This is the number the CI bench gate tracks (tools/bench/run_bench_suite
+// fails if it regresses >20% from the committed BENCH_baseline.json). Every
+// figure bench is bottlenecked on Simulator::Step, so events/sec here is the
+// repo's proxy for "how big a cluster can we afford to simulate".
+//
+// Scenarios vary the two knobs that dominate Step cost: how many events are
+// pending (heap depth -> sift-down work per pop) and how big the scheduled
+// closure is (relocation cost; 48 bytes is the SmallFn inline capacity, so
+// these shapes never heap-allocate -- exactly like the fabric hot path).
+#include <chrono>  // farmlint: allow(wall-clock): this bench measures real time
+
+#include "bench/bench_util.h"
+#include "src/sim/simulator.h"
+
+namespace farm {
+namespace {
+
+// Self-rescheduling event chain with a configurable inline payload. Each
+// invocation reschedules itself at a pseudo-random small delay, so chains
+// interleave and the heap sees realistic (time, seq) churn instead of pure
+// FIFO rotation.
+template <int kPadWords>
+struct Pump {
+  Simulator* sim;
+  uint64_t salt;
+  uint64_t left;
+  uint64_t pad[kPadWords];
+
+  void operator()() {
+    if (left == 0) {
+      return;
+    }
+    left--;
+    Pump next = *this;
+    sim->After(1 + (salt * 2654435761ULL + left) % 13, next);
+  }
+};
+
+struct Scenario {
+  const char* label;
+  int pending;       // concurrent chains == steady-state heap size
+  int payload;       // closure size in bytes
+  uint64_t events;   // total events to pump
+};
+
+template <int kPadWords>
+uint64_t RunScenario(const Scenario& sc, double* out_secs) {
+  Simulator sim;
+  uint64_t per_chain = sc.events / static_cast<uint64_t>(sc.pending);
+  for (int i = 0; i < sc.pending; i++) {
+    Pump<kPadWords> p{&sim, static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ULL + 1,
+                      per_chain, {}};
+    static_assert(sizeof(p) <= 48, "payload must stay within the SmallFn inline buffer");
+    sim.After(1 + static_cast<SimDuration>(i % 13), p);
+  }
+  // farmlint: allow(wall-clock): this bench measures real time
+  auto start = std::chrono::steady_clock::now();
+  sim.Run();
+  // farmlint: allow(wall-clock): this bench measures real time
+  *out_secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return sim.events_processed();
+}
+
+void Run() {
+  bench::PrintHeader("Simulator event-queue microbench",
+                     "no paper figure: CI gate for the discrete-event hot path",
+                     "self-rescheduling chains; 24B and 48B inline closures");
+
+  // 24B closure = {sim, salt, left}; 48B adds 3 pad words to fill the
+  // SmallFn inline buffer. Pending counts bracket the figure benches
+  // (hundreds to a few thousand in-flight events at 24+ machines).
+  const Scenario kScenarios[] = {
+      {"tiny24_pend64", 64, 24, 4'000'000},
+      {"tiny24_pend4096", 4096, 24, 4'000'000},
+      {"mid48_pend64", 64, 48, 4'000'000},
+      {"mid48_pend4096", 4096, 48, 4'000'000},
+  };
+
+  std::printf("%18s %10s %9s %12s %14s\n", "scenario", "pending", "payload", "ns/event",
+              "events/sec");
+  uint64_t total_events = 0;
+  for (const Scenario& sc : kScenarios) {
+    double secs = 0;
+    uint64_t processed = sc.payload <= 24 ? RunScenario<0>(sc, &secs)
+                                          : RunScenario<3>(sc, &secs);
+    total_events += processed;
+    double ns_per_event = secs * 1e9 / static_cast<double>(processed);
+    double per_sec = static_cast<double>(processed) / secs;
+    std::printf("%18s %10d %8dB %12.1f %14.0f\n", sc.label, sc.pending, sc.payload,
+                ns_per_event, per_sec);
+    if (auto* j = bench::Json()) {
+      j->AddPoint({{"pending", sc.pending},
+                   {"payload_bytes", sc.payload},
+                   {"ns_per_event", ns_per_event},
+                   {"events_per_sec", per_sec}});
+    }
+  }
+  // BenchEnv divides this by its own wall clock to publish the blended
+  // events_per_sec the regression gate compares against the baseline.
+  bench::ReportSimEvents(total_events);
+  std::printf("\nGate: blended events/sec (all scenarios / total wall) vs the committed\n"
+              "baseline in tools/bench/BENCH_baseline.json; >20%% regression fails CI.\n");
+}
+
+}  // namespace
+}  // namespace farm
+
+int main(int argc, char** argv) {
+  farm::bench::BenchEnv env(argc, argv);
+  farm::Run();
+  return 0;
+}

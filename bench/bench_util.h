@@ -7,10 +7,13 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <chrono>  // farmlint: allow(wall-clock): benches report real elapsed time
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/core/cluster.h"
 #include "src/obs/metrics.h"
@@ -20,10 +23,104 @@
 namespace farm {
 namespace bench {
 
+// ---- Structured bench output (--json-out=<path>) ----
+//
+// With --json-out, a bench writes a single JSON object that
+// tools/bench/run_bench_suite merges into BENCH_core.json (the committed
+// performance-trajectory file). Keys keep insertion order so the output is
+// byte-stable run to run; numeric formatting is locale-independent printf.
+class JsonReport {
+ public:
+  void Set(const std::string& key, double v) { scalars_.emplace_back(key, Num(v)); }
+  void Set(const std::string& key, uint64_t v) {
+    scalars_.emplace_back(key, std::to_string(v));
+  }
+  void Set(const std::string& key, int v) { scalars_.emplace_back(key, std::to_string(v)); }
+  void SetString(const std::string& key, const std::string& v) {
+    scalars_.emplace_back(key, "\"" + v + "\"");
+  }
+  // Appends one row to the "points" array (a sweep step, one per load level).
+  void AddPoint(std::vector<std::pair<std::string, double>> kv) {
+    std::vector<std::pair<std::string, std::string>> row;
+    row.reserve(kv.size());
+    for (auto& [k, v] : kv) {
+      row.emplace_back(k, Num(v));
+    }
+    points_.push_back(std::move(row));
+  }
+
+  std::string ToJson() const {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : scalars_) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += "\"" + k + "\":" + v;
+    }
+    if (!points_.empty()) {
+      if (!first) {
+        out += ",";
+      }
+      out += "\"points\":[";
+      for (size_t i = 0; i < points_.size(); i++) {
+        if (i > 0) {
+          out += ",";
+        }
+        out += "{";
+        for (size_t j = 0; j < points_[i].size(); j++) {
+          if (j > 0) {
+            out += ",";
+          }
+          out += "\"" + points_[i][j].first + "\":" + points_[i][j].second;
+        }
+        out += "}";
+      }
+      out += "]";
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static std::string Num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+  std::vector<std::pair<std::string, std::string>> scalars_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> points_;
+};
+
+namespace internal {
+inline JsonReport*& GlobalJson() {
+  static JsonReport* report = nullptr;
+  return report;
+}
+}  // namespace internal
+
+// The active report, or nullptr when the bench ran without --json-out.
+// Benches guard their reporting with `if (auto* j = bench::Json())`.
+inline JsonReport* Json() { return internal::GlobalJson(); }
+
+namespace internal {
+inline uint64_t& SimEventsProcessed() {
+  static uint64_t n = 0;
+  return n;
+}
+}  // namespace internal
+
+// Records how many simulator events the bench's measured body pumped. The
+// BenchEnv destructor divides this by wall time to derive events_per_sec,
+// the hot-path throughput number the CI regression gate tracks.
+inline void ReportSimEvents(uint64_t events) { internal::SimEventsProcessed() = events; }
+
 // Per-bench observability flags, parsed from argv before farm::Run():
 //   --trace-out=<path>    write a Chrome trace-event JSON of the run
 //   --metrics-out=<path>  dump every cluster's metrics registry on teardown
 //   --trace-no-net        omit per-operation fabric events (smaller traces)
+//   --json-out=<path>     write a machine-readable result summary (JSON)
 // Construct one at the top of main(); the destructor writes the trace after
 // the bench body finishes. Unrecognized arguments are ignored, so benches
 // keep their zero-flag invocations.
@@ -39,6 +136,8 @@ class BenchEnv {
         metrics::SetDumpOnDestroy(arg + 14);
       } else if (std::strcmp(arg, "--trace-no-net") == 0) {
         capture_net = false;
+      } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+        json_path_ = arg + 11;
       }
     }
     if (!trace_path_.empty()) {
@@ -47,9 +146,20 @@ class BenchEnv {
       tracer_ = std::make_unique<trace::Tracer>(topts);
       trace::SetGlobal(tracer_.get());
     }
+    if (!json_path_.empty()) {
+      report_ = std::make_unique<JsonReport>();
+      internal::GlobalJson() = report_.get();
+      internal::SimEventsProcessed() = 0;
+    }
+    // farmlint: allow(wall-clock): benches measure real elapsed time
+    wall_start_ = std::chrono::steady_clock::now();
   }
 
   ~BenchEnv() {
+    // farmlint: allow(wall-clock): benches measure real elapsed time
+    double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                wall_start_)
+                      .count();
     // Cluster registries dump themselves on destruction; the process-wide
     // default registry never dies, so flush it here (no-op without
     // --metrics-out or when nothing registered in it).
@@ -66,6 +176,25 @@ class BenchEnv {
         std::fprintf(stderr, "trace: %s\n", s.ToString().c_str());
       }
     }
+    if (report_ != nullptr) {
+      report_->Set("wall_seconds", wall);
+      uint64_t events = internal::SimEventsProcessed();
+      if (events > 0 && wall > 0) {
+        report_->Set("sim_events", events);
+        report_->Set("events_per_sec", static_cast<double>(events) / wall);
+      }
+      std::FILE* f = std::fopen(json_path_.c_str(), "w");
+      if (f != nullptr) {
+        std::string json = report_->ToJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("json: wrote results to %s\n", json_path_.c_str());
+      } else {
+        std::fprintf(stderr, "json: cannot open %s\n", json_path_.c_str());
+      }
+      internal::GlobalJson() = nullptr;
+    }
   }
 
   BenchEnv(const BenchEnv&) = delete;
@@ -73,7 +202,11 @@ class BenchEnv {
 
  private:
   std::string trace_path_;
+  std::string json_path_;
   std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<JsonReport> report_;
+  // farmlint: allow(wall-clock): benches measure real elapsed time
+  std::chrono::steady_clock::time_point wall_start_;
 };
 
 inline ClusterOptions DefaultClusterOptions(int machines, uint64_t seed = 1) {

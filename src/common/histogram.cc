@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 #include "src/common/logging.h"
@@ -67,7 +68,14 @@ uint64_t Histogram::Percentile(double p) const {
     return 0;
   }
   p = std::clamp(p, 0.0, 100.0);
-  uint64_t target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_ - 1)) + 1;
+  // Nearest-rank: the smallest value with at least ceil(p/100 * count)
+  // observations at or below it. The previous interpolation-flavored rank
+  // (floor(p/100 * (count-1)) + 1) sat one rank low whenever
+  // frac(p/100 * count) < p/100 -- e.g. p99 of 10 samples returned the 9th
+  // largest, and p99 of {a, b} returned a -- underreporting every small-n
+  // tail the figure benches quote.
+  uint64_t target = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  target = std::max<uint64_t>(target, 1);  // p=0 means the minimum, rank 1
   uint64_t seen = 0;
   for (int i = 0; i < kBuckets; i++) {
     seen += buckets_[static_cast<size_t>(i)];

@@ -266,15 +266,18 @@ Task<StatusOr<Node::RegionRef>> Node::ResolveRef(RegionId region, int thread) {
   if (!InConfig(p->primary)) {
     co_return UnavailableStatus("primary not in configuration");
   }
+  // `p` points into config_.regions; a reconfiguration during the request
+  // below reassigns config_ and frees it. Copy what outlives the await.
+  MachineId primary = p->primary;
   BufWriter w;
   w.PutU32(region);
   auto reply =
-      co_await Request(p->primary, MsgType::kRefRequest, w.Take(), thread, kRefRequestTimeout);
+      co_await Request(primary, MsgType::kRefRequest, w.Take(), thread, kRefRequestTimeout);
   if (!reply.ok()) {
     co_return reply.status();
   }
   BufReader rr(*reply);
-  RegionRef ref{config_.id, p->primary, rr.GetU64()};
+  RegionRef ref{config_.id, primary, rr.GetU64()};
   ref_cache_[region] = ref;
   co_return ref;
 }

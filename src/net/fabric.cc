@@ -233,100 +233,158 @@ Future<NetResult> Fabric::Cas(MachineId src, MachineId dst, uint64_t addr, uint6
   return OneSided(Verb::kCas, src, dst, addr, 8, {}, expected, desired, thread);
 }
 
+Fabric::OneSidedOp* Fabric::AcquireOneSided() {
+  OneSidedOp* op = one_sided_free_;
+  if (op != nullptr) {
+    one_sided_free_ = op->next_free;
+    op->next_free = nullptr;
+  } else {
+    one_sided_owned_.push_back(std::make_unique<OneSidedOp>());
+    op = one_sided_owned_.back().get();
+    op->fabric = this;
+  }
+  return op;
+}
+
+void Fabric::ReleaseOneSided(OneSidedOp* op) {
+  op->data.clear();
+  op->on_delivered = nullptr;
+  op->result.status = OkStatus();
+  op->result.data.clear();
+  op->next_free = one_sided_free_;
+  one_sided_free_ = op;
+}
+
 Future<NetResult> Fabric::OneSided(Verb verb, MachineId src, MachineId dst, uint64_t addr,
                                    uint32_t len, std::vector<uint8_t> data, uint64_t expected,
                                    uint64_t desired, HwThread* thread,
                                    std::function<void()> on_delivered) {
-  Future<NetResult> done;
   Ep(src);  // validate endpoints exist
   Ep(dst);
 
+  OneSidedOp* op = AcquireOneSided();
+  op->verb = verb;
+  op->src = src;
+  op->dst = dst;
+  op->addr = addr;
+  op->len = len;
+  op->expected = expected;
+  op->desired = desired;
+  op->thread = thread;
+  op->data = std::move(data);
+  op->on_delivered = std::move(on_delivered);
+  op->done = Future<NetResult>();
   // Request sizes: reads/CAS carry a header; writes carry the payload.
-  uint64_t req_bytes = verb == Verb::kWrite ? kVerbHeaderBytes + len : kVerbHeaderBytes;
-  uint64_t resp_bytes = verb == Verb::kRead ? len : (verb == Verb::kCas ? kCasResponseBytes : kAckBytes);
+  op->req_bytes = verb == Verb::kWrite ? kVerbHeaderBytes + len : kVerbHeaderBytes;
+  op->resp_bytes =
+      verb == Verb::kRead ? len : (verb == Verb::kCas ? kCasResponseBytes : kAckBytes);
 
   SimTime issue_done = thread != nullptr ? thread->AcquireCpu(cost_.cpu_rdma_issue) : sim_.Now();
+  sim_.At(issue_done, [op]() { op->fabric->OneSidedIssue(op); });
+  return op->done;
+}
 
-  auto fail_later = [this, done, thread, src](SimTime from) {
-    sim_.At(from + cost_.rc_op_timeout, [this, done, thread, src]() {
-      if (!IsAlive(src)) {
-        return;  // initiator died; nobody is polling the CQ
-      }
-      CompleteOnThread(done, NetResult{UnavailableStatus("one-sided op timed out"), {}}, thread,
-                       cost_.cpu_rdma_completion);
-    });
-  };
-
-  sim_.At(issue_done, [=, this, data = std::move(data)]() mutable {
+// RC transport gave up on an unreachable/dead peer: surface a timeout to the
+// initiator one rc_op_timeout from now. The pending completion must not
+// reference the record (it is released here), so it captures the future.
+void Fabric::OneSidedFail(OneSidedOp* op) {
+  Future<NetResult> done = op->done;
+  HwThread* thread = op->thread;
+  MachineId src = op->src;
+  ReleaseOneSided(op);
+  sim_.At(sim_.Now() + cost_.rc_op_timeout, [this, done, thread, src]() {
     if (!IsAlive(src)) {
-      return;
+      return;  // initiator died; nobody is polling the CQ
     }
-    if (!Reachable(src, dst) || !IsAlive(dst)) {
-      fail_later(sim_.Now());
-      return;
-    }
-    NicPort& src_nic = PickNic(Ep(src));
-    SimTime sent = src_nic.Acquire(sim_.Now(), cost_.NicOccupancy(req_bytes));
-    SimTime arrival = sent + cost_.wire_latency;
-
-    sim_.At(arrival, [=, this, data = std::move(data)]() mutable {
-      if (!Reachable(src, dst) || !IsAlive(dst)) {
-        fail_later(sim_.Now());
-        return;
-      }
-      NicPort& dst_nic = PickNic(Ep(dst));
-      // The target NIC serves the verb: DMA in/out of target memory.
-      SimTime served = dst_nic.Acquire(sim_.Now(), cost_.NicOccupancy(req_bytes + resp_bytes));
-
-      sim_.At(served, [=, this, data = std::move(data)]() mutable {
-        if (!Reachable(src, dst) || !IsAlive(dst)) {
-          fail_later(sim_.Now());
-          return;
-        }
-        Endpoint& dst_ep = Ep(dst);
-        NetResult result;
-        switch (verb) {
-          case Verb::kRead: {
-            result.data.resize(len);
-            if (!dst_ep.memory->RdmaRead(addr, len, result.data.data())) {
-              result.status = Status(StatusCode::kInvalidArgument, "rdma read protection fault");
-              result.data.clear();
-            }
-            break;
-          }
-          case Verb::kWrite: {
-            if (!dst_ep.memory->RdmaWrite(addr, data.data(), data.size())) {
-              result.status = Status(StatusCode::kInvalidArgument, "rdma write protection fault");
-            } else if (on_delivered) {
-              on_delivered();
-            }
-            break;
-          }
-          case Verb::kCas: {
-            uint64_t observed = 0;
-            if (!dst_ep.memory->RdmaCas(addr, expected, desired, &observed)) {
-              result.status = Status(StatusCode::kInvalidArgument, "rdma cas protection fault");
-            } else {
-              result.data.resize(8);
-              std::memcpy(result.data.data(), &observed, 8);
-            }
-            break;
-          }
-        }
-        // Response (data / hardware ack) crosses back through the initiator NIC.
-        NicPort& back_nic = PickNic(Ep(src));
-        SimTime resp_arrival = sim_.Now() + cost_.wire_latency;
-        SimTime delivered = back_nic.Acquire(resp_arrival, cost_.NicOccupancy(resp_bytes));
-        sim_.At(delivered, [this, done, thread, src, result = std::move(result)]() mutable {
-          if (!IsAlive(src)) {
-            return;
-          }
-          CompleteOnThread(done, std::move(result), thread, cost_.cpu_rdma_completion);
-        });
-      });
-    });
+    CompleteOnThread(done, NetResult{UnavailableStatus("one-sided op timed out"), {}}, thread,
+                     cost_.cpu_rdma_completion);
   });
-  return done;
+}
+
+void Fabric::OneSidedIssue(OneSidedOp* op) {
+  if (!IsAlive(op->src)) {
+    ReleaseOneSided(op);
+    return;
+  }
+  if (!Reachable(op->src, op->dst) || !IsAlive(op->dst)) {
+    OneSidedFail(op);
+    return;
+  }
+  NicPort& src_nic = PickNic(Ep(op->src));
+  SimTime sent = src_nic.Acquire(sim_.Now(), cost_.NicOccupancy(op->req_bytes));
+  SimTime arrival = sent + cost_.wire_latency;
+  sim_.At(arrival, [op]() { op->fabric->OneSidedArrive(op); });
+}
+
+void Fabric::OneSidedArrive(OneSidedOp* op) {
+  if (!Reachable(op->src, op->dst) || !IsAlive(op->dst)) {
+    OneSidedFail(op);
+    return;
+  }
+  NicPort& dst_nic = PickNic(Ep(op->dst));
+  // The target NIC serves the verb: DMA in/out of target memory.
+  SimTime served = dst_nic.Acquire(sim_.Now(), cost_.NicOccupancy(op->req_bytes + op->resp_bytes));
+  sim_.At(served, [op]() { op->fabric->OneSidedServe(op); });
+}
+
+void Fabric::OneSidedServe(OneSidedOp* op) {
+  if (!Reachable(op->src, op->dst) || !IsAlive(op->dst)) {
+    OneSidedFail(op);
+    return;
+  }
+  Endpoint& dst_ep = Ep(op->dst);
+  NetResult& result = op->result;
+  switch (op->verb) {
+    case Verb::kRead: {
+      result.data.resize(op->len);
+      if (!dst_ep.memory->RdmaRead(op->addr, op->len, result.data.data())) {
+        result.status = Status(StatusCode::kInvalidArgument, "rdma read protection fault");
+        result.data.clear();
+      }
+      break;
+    }
+    case Verb::kWrite: {
+      if (!dst_ep.memory->RdmaWrite(op->addr, op->data.data(), op->data.size())) {
+        result.status = Status(StatusCode::kInvalidArgument, "rdma write protection fault");
+      } else if (op->on_delivered) {
+        op->on_delivered();
+      }
+      break;
+    }
+    case Verb::kCas: {
+      uint64_t observed = 0;
+      if (!dst_ep.memory->RdmaCas(op->addr, op->expected, op->desired, &observed)) {
+        result.status = Status(StatusCode::kInvalidArgument, "rdma cas protection fault");
+      } else {
+        result.data.resize(8);
+        std::memcpy(result.data.data(), &observed, 8);
+      }
+      break;
+    }
+  }
+  // Response (data / hardware ack) crosses back through the initiator NIC.
+  NicPort& back_nic = PickNic(Ep(op->src));
+  SimTime resp_arrival = sim_.Now() + cost_.wire_latency;
+  SimTime delivered = back_nic.Acquire(resp_arrival, cost_.NicOccupancy(op->resp_bytes));
+  sim_.At(delivered, [op]() { op->fabric->OneSidedComplete(op); });
+}
+
+void Fabric::OneSidedComplete(OneSidedOp* op) {
+  if (!IsAlive(op->src)) {
+    ReleaseOneSided(op);
+    return;
+  }
+  if (op->thread != nullptr) {
+    // The record stays alive until the completion poll runs; if the machine
+    // dies first the guard drops the closure and the record is stranded.
+    op->thread->Run(cost_.cpu_rdma_completion, [op]() {
+      op->done.Set(std::move(op->result));
+      op->fabric->ReleaseOneSided(op);
+    });
+  } else {
+    op->done.Set(std::move(op->result));
+    ReleaseOneSided(op);
+  }
 }
 
 void Fabric::RegisterRpcService(MachineId m, uint16_t service, int thread_lo, int thread_hi,
@@ -342,116 +400,192 @@ void Fabric::RegisterRpcService(MachineId m, uint16_t service, int thread_lo, in
   ep.services[service] = std::move(svc);
 }
 
+Fabric::RpcOp* Fabric::AcquireRpc() {
+  RpcOp* op = rpc_free_;
+  if (op != nullptr) {
+    rpc_free_ = op->next_free;
+    op->next_free = nullptr;
+  } else {
+    rpc_owned_.push_back(std::make_unique<RpcOp>());
+    op = rpc_owned_.back().get();
+    op->fabric = this;
+  }
+  return op;
+}
+
+void Fabric::DropRpcRef(RpcOp* op) {
+  FARM_CHECK(op->refs > 0);
+  if (--op->refs == 0) {
+    op->request.clear();
+    op->result.status = OkStatus();
+    op->result.data.clear();
+    op->next_free = rpc_free_;
+    rpc_free_ = op;
+  }
+}
+
 Future<NetResult> Fabric::Call(MachineId src, MachineId dst, uint16_t service,
                                std::vector<uint8_t> request, HwThread* thread,
                                SimDuration timeout) {
   stats_.rpcs++;
   stats_.rpc_bytes += request.size();
   TraceOp("rpc", src, thread, "rpc_bytes", stats_.rpc_bytes);
-  Future<NetResult> done;
-  auto decided = std::make_shared<bool>(false);
-  auto complete = [this, done, decided, thread, src](NetResult r) {
-    if (*decided) {
-      return;
-    }
-    *decided = true;
-    if (!IsAlive(src)) {
-      return;
-    }
-    CompleteOnThread(done, std::move(r), thread, cost_.cpu_rpc_completion);
-  };
+
+  RpcOp* op = AcquireRpc();
+  op->src = src;
+  op->dst = dst;
+  op->service = service;
+  op->thread = thread;
+  op->request = std::move(request);
+  op->done = Future<NetResult>();
+  op->req_bytes = kVerbHeaderBytes + op->request.size();
+  op->decided = false;
+  op->replied = false;
+  op->refs = 2;  // the timeout event and the request chain
 
   SimTime issue_done = thread != nullptr ? thread->AcquireCpu(cost_.cpu_rpc_issue) : sim_.Now();
-  sim_.At(issue_done + timeout, [complete]() {
-    complete(NetResult{Status(StatusCode::kTimedOut, "rpc timeout"), {}});
-  });
+  sim_.At(issue_done + timeout, [op]() { op->fabric->RpcTimeout(op); });
+  sim_.At(issue_done, [op]() { op->fabric->RpcSend(op); });
+  return op->done;
+}
 
-  uint64_t req_bytes = kVerbHeaderBytes + request.size();
-  sim_.At(issue_done, [=, this, request = std::move(request)]() mutable {
-    if (!IsAlive(src) || !Reachable(src, dst) || !IsAlive(dst)) {
-      return;  // timeout will fire
-    }
-    // Request-leg faults: a dropped request models RC retry exhaustion and
-    // surfaces as the client-side timeout.
-    FaultOutcome req_fault = DrawFaults(src, dst);
-    if (req_fault.drop) {
-      return;  // timeout will fire
-    }
-    Endpoint& src_ep = Ep(src);
-    NicPort& src_nic = PickNic(src_ep);
-    SimTime sent = src_nic.Acquire(sim_.Now(), cost_.NicOccupancy(req_bytes));
-    SimTime arrival = sent + cost_.wire_latency + req_fault.delay;
-
-    sim_.At(arrival, [=, this, request = std::move(request)]() mutable {
-      if (!Reachable(src, dst) || !IsAlive(dst)) {
-        return;
-      }
-      Endpoint& dst_ep = Ep(dst);
-      NicPort& dst_nic = PickNic(dst_ep);
-      SimTime received = dst_nic.Acquire(sim_.Now(), cost_.NicOccupancy(req_bytes));
-
-      sim_.At(received, [=, this, request = std::move(request)]() mutable {
-        if (!IsAlive(dst)) {
-          return;
-        }
-        Endpoint& dep = Ep(dst);
-        auto it = dep.services.find(service);
-        if (it == dep.services.end()) {
-          complete(NetResult{Status(StatusCode::kNotFound, "no such rpc service"), {}});
-          return;
-        }
-        Endpoint::Service& svc = it->second;
-        int tid = svc.next_thread;
-        svc.next_thread = svc.next_thread >= svc.thread_hi ? svc.thread_lo : svc.next_thread + 1;
-        HwThread& handler_thread = dep.machine->thread(tid);
-        SimDuration handler_cost = cost_.cpu_rpc_handler + cost_.CpuBytes(request.size());
-
-        ReplyFn reply = [=, this](std::vector<uint8_t> resp) {
-          // Reply transport: dst NIC -> wire -> src NIC -> completion.
-          if (!IsAlive(dst) || !Reachable(src, dst)) {
-            return;
-          }
-          // Reply-leg faults: drops surface as the client timeout; a
-          // duplicated reply is absorbed by the `decided` guard, modeling
-          // an at-most-once completion over an at-least-once wire.
-          FaultOutcome resp_fault = DrawFaults(dst, src);
-          if (resp_fault.drop) {
-            return;  // timeout will fire
-          }
-          Endpoint& dep2 = Ep(dst);
-          NicPort& out_nic = PickNic(dep2);
-          uint64_t resp_bytes = kVerbHeaderBytes + resp.size();
-          stats_.rpc_bytes += resp.size();
-          SimTime resp_sent = out_nic.Acquire(sim_.Now(), cost_.NicOccupancy(resp_bytes));
-          auto deliver = [=, this](SimDuration extra, std::vector<uint8_t> copy) {
-            SimTime resp_arrival = resp_sent + cost_.wire_latency + extra;
-            sim_.At(resp_arrival, [=, this, copy = std::move(copy)]() mutable {
-              if (!IsAlive(src)) {
-                return;
-              }
-              Endpoint& sep = Ep(src);
-              NicPort& in_nic = PickNic(sep);
-              SimTime delivered = in_nic.Acquire(sim_.Now(), cost_.NicOccupancy(resp_bytes));
-              sim_.At(delivered, [complete, copy = std::move(copy)]() mutable {
-                complete(NetResult{OkStatus(), std::move(copy)});
-              });
-            });
-          };
-          if (resp_fault.duplicate) {
-            deliver(resp_fault.dup_delay, resp);
-          }
-          deliver(resp_fault.delay, std::move(resp));
-        };
-
-        handler_thread.Run(handler_cost,
-                           [handler = svc.handler, src, request = std::move(request),
-                            reply = std::move(reply)]() mutable {
-                             handler(src, std::move(request), std::move(reply));
-                           });
-      });
+// First completion (reply or timeout) wins: the `decided` guard makes the
+// client-visible completion at-most-once over an at-least-once wire.
+void Fabric::RpcComplete(RpcOp* op, NetResult r) {
+  if (op->decided) {
+    return;
+  }
+  op->decided = true;
+  if (!IsAlive(op->src)) {
+    return;
+  }
+  if (op->thread != nullptr) {
+    op->result = std::move(r);
+    op->refs++;  // the completion-poll event keeps the record alive
+    op->thread->Run(cost_.cpu_rpc_completion, [op]() {
+      op->done.Set(std::move(op->result));
+      op->fabric->DropRpcRef(op);
     });
+  } else {
+    op->done.Set(std::move(r));
+  }
+}
+
+void Fabric::RpcTimeout(RpcOp* op) {
+  RpcComplete(op, NetResult{Status(StatusCode::kTimedOut, "rpc timeout"), {}});
+  DropRpcRef(op);
+}
+
+void Fabric::RpcSend(RpcOp* op) {
+  if (!IsAlive(op->src) || !Reachable(op->src, op->dst) || !IsAlive(op->dst)) {
+    DropRpcRef(op);
+    return;  // timeout will fire
+  }
+  // Request-leg faults: a dropped request models RC retry exhaustion and
+  // surfaces as the client-side timeout.
+  FaultOutcome req_fault = DrawFaults(op->src, op->dst);
+  if (req_fault.drop) {
+    DropRpcRef(op);
+    return;  // timeout will fire
+  }
+  NicPort& src_nic = PickNic(Ep(op->src));
+  SimTime sent = src_nic.Acquire(sim_.Now(), cost_.NicOccupancy(op->req_bytes));
+  SimTime arrival = sent + cost_.wire_latency + req_fault.delay;
+  sim_.At(arrival, [op]() { op->fabric->RpcArrive(op); });
+}
+
+void Fabric::RpcArrive(RpcOp* op) {
+  if (!Reachable(op->src, op->dst) || !IsAlive(op->dst)) {
+    DropRpcRef(op);
+    return;
+  }
+  NicPort& dst_nic = PickNic(Ep(op->dst));
+  SimTime received = dst_nic.Acquire(sim_.Now(), cost_.NicOccupancy(op->req_bytes));
+  sim_.At(received, [op]() { op->fabric->RpcReceive(op); });
+}
+
+void Fabric::RpcReceive(RpcOp* op) {
+  if (!IsAlive(op->dst)) {
+    DropRpcRef(op);
+    return;
+  }
+  Endpoint& dep = Ep(op->dst);
+  auto it = dep.services.find(op->service);
+  if (it == dep.services.end()) {
+    RpcComplete(op, NetResult{Status(StatusCode::kNotFound, "no such rpc service"), {}});
+    DropRpcRef(op);
+    return;
+  }
+  Endpoint::Service& svc = it->second;
+  int tid = svc.next_thread;
+  svc.next_thread = svc.next_thread >= svc.thread_hi ? svc.thread_lo : svc.next_thread + 1;
+  HwThread& handler_thread = dep.machine->thread(tid);
+  SimDuration handler_cost = cost_.cpu_rpc_handler + cost_.CpuBytes(op->request.size());
+  // The chain's ref rides into the handler event; if the machine dies before
+  // the handler runs, the guard drops it and the record is stranded.
+  handler_thread.Run(handler_cost, [op]() { op->fabric->RpcInvokeHandler(op); });
+}
+
+void Fabric::RpcInvokeHandler(RpcOp* op) {
+  Endpoint& dep = Ep(op->dst);
+  auto it = dep.services.find(op->service);
+  if (it == dep.services.end()) {
+    DropRpcRef(op);  // service vanished while the request was queued
+    return;
+  }
+  // The reply closure is two pointers wide, so the ReplyFn std::function the
+  // handler receives stays in its small-object buffer. The handler may hold
+  // it past this call; the chain's ref keeps the record alive until reply.
+  ReplyFn reply = [op](std::vector<uint8_t> resp) { op->fabric->RpcReply(op, std::move(resp)); };
+  it->second.handler(op->src, std::move(op->request), std::move(reply));
+}
+
+void Fabric::RpcReply(RpcOp* op, std::vector<uint8_t> resp) {
+  if (op->replied) {
+    return;  // handlers reply at most once; extra calls are ignored
+  }
+  op->replied = true;
+  // Reply transport: dst NIC -> wire -> src NIC -> completion.
+  if (!IsAlive(op->dst) || !Reachable(op->src, op->dst)) {
+    DropRpcRef(op);
+    return;
+  }
+  // Reply-leg faults: drops surface as the client timeout; a duplicated
+  // reply is absorbed by the `decided` guard in RpcComplete.
+  FaultOutcome resp_fault = DrawFaults(op->dst, op->src);
+  if (resp_fault.drop) {
+    DropRpcRef(op);
+    return;  // timeout will fire
+  }
+  NicPort& out_nic = PickNic(Ep(op->dst));
+  uint64_t resp_bytes = kVerbHeaderBytes + resp.size();
+  stats_.rpc_bytes += resp.size();
+  SimTime resp_sent = out_nic.Acquire(sim_.Now(), cost_.NicOccupancy(resp_bytes));
+  if (resp_fault.duplicate) {
+    op->refs++;  // the duplicate delivery chain holds its own ref
+    SimTime dup_arrival = resp_sent + cost_.wire_latency + resp_fault.dup_delay;
+    std::vector<uint8_t> dup = resp;
+    sim_.At(dup_arrival, [op, copy = std::move(dup)]() mutable {
+      op->fabric->RpcRespArrive(op, std::move(copy));
+    });
+  }
+  SimTime resp_arrival = resp_sent + cost_.wire_latency + resp_fault.delay;
+  sim_.At(resp_arrival, [op, copy = std::move(resp)]() mutable {
+    op->fabric->RpcRespArrive(op, std::move(copy));
   });
-  return done;
+}
+
+void Fabric::RpcRespArrive(RpcOp* op, std::vector<uint8_t> copy) {
+  if (!IsAlive(op->src)) {
+    DropRpcRef(op);
+    return;
+  }
+  NicPort& in_nic = PickNic(Ep(op->src));
+  SimTime delivered = in_nic.Acquire(sim_.Now(), cost_.NicOccupancy(kVerbHeaderBytes + copy.size()));
+  sim_.At(delivered, [op, copy = std::move(copy)]() mutable {
+    op->fabric->RpcComplete(op, NetResult{OkStatus(), std::move(copy)});
+    op->fabric->DropRpcRef(op);
+  });
 }
 
 void Fabric::SetDatagramHandler(MachineId m, DatagramHandler handler) {
@@ -484,34 +618,47 @@ void Fabric::SendDatagram(MachineId src, MachineId dst, std::vector<uint8_t> pay
     Endpoint& src_ep = Ep(src);
     sent = PickNic(src_ep).Acquire(sim_.Now(), cost_.NicOccupancy(bytes));
   }
-  auto deliver = [=, this](SimDuration extra, std::vector<uint8_t> copy) {
-    SimTime arrival = sent + cost_.wire_latency + extra;
-    sim_.At(arrival, [=, this, copy = std::move(copy)]() mutable {
-      if (!IsAlive(dst) || !Reachable(src, dst)) {
-        return;
-      }
-      SimTime delivered;
-      if (bypass_nic_queue) {
-        delivered = sim_.Now() + cost_.NicOccupancy(bytes);
-      } else {
-        Endpoint& dst_ep = Ep(dst);
-        delivered = PickNic(dst_ep).Acquire(sim_.Now(), cost_.NicOccupancy(bytes));
-      }
-      sim_.At(delivered, [this, src, dst, copy = std::move(copy)]() mutable {
-        if (!IsAlive(dst)) {
-          return;
-        }
-        Endpoint& ep = Ep(dst);
-        if (ep.datagram_handler) {
-          ep.datagram_handler(src, std::move(copy));
-        }
-      });
-    });
-  };
+  // The stage captures below (this + payload + ids + flag) fit SmallFn's
+  // inline buffer exactly, so datagram delivery never allocates.
   if (fault.duplicate) {
-    deliver(fault.dup_delay, payload);
+    SimTime dup_arrival = sent + cost_.wire_latency + fault.dup_delay;
+    std::vector<uint8_t> dup = payload;
+    sim_.At(dup_arrival, [this, src, dst, bypass_nic_queue, copy = std::move(dup)]() mutable {
+      DatagramArrive(src, dst, bypass_nic_queue, std::move(copy));
+    });
   }
-  deliver(fault.delay, std::move(payload));
+  SimTime arrival = sent + cost_.wire_latency + fault.delay;
+  sim_.At(arrival, [this, src, dst, bypass_nic_queue, copy = std::move(payload)]() mutable {
+    DatagramArrive(src, dst, bypass_nic_queue, std::move(copy));
+  });
+}
+
+void Fabric::DatagramArrive(MachineId src, MachineId dst, bool bypass_nic_queue,
+                            std::vector<uint8_t> copy) {
+  if (!IsAlive(dst) || !Reachable(src, dst)) {
+    return;
+  }
+  uint64_t bytes = kVerbHeaderBytes + copy.size();
+  SimTime delivered;
+  if (bypass_nic_queue) {
+    delivered = sim_.Now() + cost_.NicOccupancy(bytes);
+  } else {
+    Endpoint& dst_ep = Ep(dst);
+    delivered = PickNic(dst_ep).Acquire(sim_.Now(), cost_.NicOccupancy(bytes));
+  }
+  sim_.At(delivered, [this, src, dst, copy = std::move(copy)]() mutable {
+    DatagramDeliver(src, dst, std::move(copy));
+  });
+}
+
+void Fabric::DatagramDeliver(MachineId src, MachineId dst, std::vector<uint8_t> copy) {
+  if (!IsAlive(dst)) {
+    return;
+  }
+  Endpoint& ep = Ep(dst);
+  if (ep.datagram_handler) {
+    ep.datagram_handler(src, std::move(copy));
+  }
 }
 
 }  // namespace farm

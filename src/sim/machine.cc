@@ -2,19 +2,6 @@
 
 namespace farm {
 
-void HwThread::Run(SimDuration cost, std::function<void()> fn) {
-  SimTime start = std::max(sim_.Now(), busy_until_);
-  busy_until_ = start + cost;
-  total_busy_ += cost;
-  uint64_t epoch = machine_->epoch();
-  Machine* machine = machine_;
-  sim_.At(busy_until_, [machine, epoch, fn = std::move(fn)]() {
-    if (machine->alive() && machine->epoch() == epoch) {
-      fn();
-    }
-  });
-}
-
 Future<Unit> HwThread::Execute(SimDuration cost) {
   Future<Unit> done;
   Run(cost, [done]() { done.Set(Unit{}); });

@@ -8,6 +8,7 @@
 #ifndef SRC_SIM_MACHINE_H_
 #define SRC_SIM_MACHINE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -32,8 +33,10 @@ class HwThread {
 
   // Acquires the CPU for `cost`, then runs fn (at completion time). Work
   // items execute in FIFO order. If the machine dies or reboots before the
-  // item completes, fn is dropped.
-  void Run(SimDuration cost, std::function<void()> fn);
+  // item completes, fn is dropped (via the simulator's event guard on the
+  // machine's liveness word, so no wrapper closure is allocated).
+  template <typename F>
+  void Run(SimDuration cost, F&& fn);
 
   // Coroutine flavor: resumes the awaiter once the CPU work completes.
   Future<Unit> Execute(SimDuration cost);
@@ -79,11 +82,21 @@ class Machine {
   int NumThreads() const { return static_cast<int>(threads_.size()); }
   HwThread& thread(int i) { return *threads_[static_cast<size_t>(i)]; }
 
-  void Kill() { alive_ = false; }
+  void Kill() {
+    alive_ = false;
+    guard_word_ = epoch_ << 1;
+  }
   void Reboot() {
     alive_ = true;
     epoch_++;
+    guard_word_ = (epoch_ << 1) | 1;
   }
+
+  // Liveness guard for Simulator::AtGuarded: (epoch << 1) | alive. An event
+  // scheduled while the machine is up fires only if the word is unchanged,
+  // i.e. the machine is still alive in the same epoch.
+  const uint64_t* guard_word() const { return &guard_word_; }
+  uint64_t live_guard() const { return (epoch_ << 1) | 1; }
 
  private:
   Simulator& sim_;
@@ -91,8 +104,18 @@ class Machine {
   int failure_domain_;
   bool alive_ = true;
   uint64_t epoch_ = 0;
+  uint64_t guard_word_ = 1;  // (epoch_ << 1) | alive_
   std::vector<std::unique_ptr<HwThread>> threads_;
 };
+
+template <typename F>
+void HwThread::Run(SimDuration cost, F&& fn) {
+  SimTime start = std::max(sim_.Now(), busy_until_);
+  busy_until_ = start + cost;
+  total_busy_ += cost;
+  sim_.AtGuarded(busy_until_, machine_->guard_word(), machine_->live_guard(),
+                 std::forward<F>(fn));
+}
 
 }  // namespace farm
 

@@ -1,0 +1,144 @@
+// Small-buffer-optimized move-only callable for simulator events.
+//
+// The event queue processes tens of millions of closures per bench run;
+// std::function heap-allocates any capture list larger than two pointers,
+// which made allocation the simulator's wall-clock bottleneck. SmallFn
+// stores captures up to kInlineBytes directly inside the object (the
+// simulator's Event lives in a contiguous heap array, so inline captures
+// move with the event and never touch the allocator). Larger callables
+// fall back to a single heap allocation, exactly like std::function.
+//
+// Semantics: move-only (captures owning types like std::vector move for
+// free; copying closures is never needed on the event path), void()
+// signature only, and invocation is non-const (closures may mutate their
+// captures).
+#ifndef SRC_SIM_SMALL_FN_H_
+#define SRC_SIM_SMALL_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace farm {
+
+class SmallFn {
+ public:
+  // Capture lists up to 48 bytes stay inline (six pointers / three
+  // shared_ptrs); HwThread::Run needs no wrapper closure because liveness
+  // guards live in the simulator Event itself, so this budget is available
+  // to callers in full.
+  static constexpr size_t kInlineBytes = 48;
+
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename D = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallFn(F&& f) {  // NOLINT(runtime/explicit)
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *HeapSlot() = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { MoveFrom(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { Reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  // Replaces the held callable, constructing the new one directly in this
+  // object's storage. The simulator schedules through this instead of the
+  // converting constructor so a lambda passed to At()/After() is built in
+  // its event slot in place, with no intermediate SmallFn to relocate.
+  template <typename F, typename D = std::remove_cvref_t<F>>
+  void Assign(F&& f) {
+    if constexpr (std::is_same_v<D, SmallFn>) {
+      *this = std::forward<F>(f);
+    } else {
+      static_assert(std::is_invocable_r_v<void, D&>);
+      Reset();
+      if constexpr (FitsInline<D>()) {
+        ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+        ops_ = &kInlineOps<D>;
+      } else {
+        *HeapSlot() = new D(std::forward<F>(f));
+        ops_ = &kHeapOps<D>;
+      }
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs dst's storage from src's and destroys src's.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool FitsInline() {
+    return sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*static_cast<D*>(s))(); },
+      [](void* dst, void* src) noexcept {
+        D* from = static_cast<D*>(src);
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) noexcept { static_cast<D*>(s)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (**static_cast<D**>(s))(); },
+      [](void* dst, void* src) noexcept {
+        *static_cast<D**>(dst) = *static_cast<D**>(src);
+      },
+      [](void* s) noexcept { delete *static_cast<D**>(s); },
+  };
+
+  void** HeapSlot() { return reinterpret_cast<void**>(buf_); }
+
+  void MoveFrom(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace farm
+
+#endif  // SRC_SIM_SMALL_FN_H_

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/sim/frame_arena.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
 
@@ -45,7 +46,7 @@ struct FinalAwaiter {
 };
 
 template <typename T>
-struct TaskPromise {
+struct TaskPromise : ArenaFrame {
   std::coroutine_handle<> continuation = nullptr;
   std::optional<T> value;
 
@@ -57,7 +58,7 @@ struct TaskPromise {
 };
 
 template <>
-struct TaskPromise<void> {
+struct TaskPromise<void> : ArenaFrame {
   std::coroutine_handle<> continuation = nullptr;
 
   Task<void> get_return_object();
@@ -180,7 +181,7 @@ inline void UnlinkDetached(DetachedNode* n) {
 // still alive when the simulation is torn down are reclaimed via
 // ReclaimParkedFrames().
 struct Detached {
-  struct promise_type : task_internal::DetachedNode {
+  struct promise_type : task_internal::DetachedNode, ArenaFrame {
     promise_type() {
       frame = std::coroutine_handle<promise_type>::from_promise(*this);
       task_internal::LinkDetached(this);

@@ -236,6 +236,62 @@ TEST(HistogramTest, MergeDisjointRanges) {
   EXPECT_GT(low.Percentile(75), 900'000u);
 }
 
+TEST(HistogramTest, NearestRankCountOne) {
+  // Values below the histogram's linear range (64) are bucketed exactly, so
+  // boundary percentiles can be asserted with EXPECT_EQ.
+  Histogram h;
+  h.Record(7);
+  EXPECT_EQ(h.Percentile(0), 7u);
+  EXPECT_EQ(h.Percentile(50), 7u);
+  EXPECT_EQ(h.Percentile(100), 7u);
+}
+
+TEST(HistogramTest, NearestRankCountTwo) {
+  Histogram h;
+  h.Record(5);
+  h.Record(50);
+  // Rank ceil(p/100 * 2): p in (0, 50] is the first sample, p in (50, 100]
+  // the second. The old floor(p/100 * (count-1)) + 1 rank returned the FIRST
+  // sample for p99 -- the min as the tail.
+  EXPECT_EQ(h.Percentile(0), 5u);
+  EXPECT_EQ(h.Percentile(50), 5u);
+  EXPECT_EQ(h.Percentile(51), 50u);
+  EXPECT_EQ(h.Percentile(99), 50u);
+  EXPECT_EQ(h.Percentile(100), 50u);
+}
+
+TEST(HistogramTest, NearestRankSmallCountTail) {
+  // Ten distinct samples: p99 is rank ceil(9.9) = 10, the largest; p90 is
+  // rank 9. The old formula reported rank 9 for p99.
+  Histogram h;
+  for (uint64_t v = 1; v <= 10; v++) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Percentile(99), 10u);
+  EXPECT_EQ(h.Percentile(90), 9u);
+  EXPECT_EQ(h.Percentile(91), 10u);
+  EXPECT_EQ(h.Percentile(100), 10u);
+  EXPECT_EQ(h.Percentile(0), 1u);
+  EXPECT_EQ(h.Percentile(10), 1u);
+  EXPECT_EQ(h.Percentile(11), 2u);
+}
+
+TEST(HistogramTest, NearestRankLargeCount) {
+  // Two observations of each value in [1, 50]: count = 100, so pN is simply
+  // the Nth rank. All values sit in the exact linear range.
+  Histogram h;
+  for (uint64_t v = 1; v <= 50; v++) {
+    h.Record(v);
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Percentile(0), 1u);
+  EXPECT_EQ(h.Percentile(1), 1u);
+  EXPECT_EQ(h.Percentile(50), 25u);
+  EXPECT_EQ(h.Percentile(98), 49u);
+  EXPECT_EQ(h.Percentile(99), 50u);
+  EXPECT_EQ(h.Percentile(100), 50u);
+}
+
 TEST(HistogramTest, ResetClearsEverything) {
   Histogram h;
   h.Record(100);

@@ -122,6 +122,23 @@ TEST(RegistryTest, DumpsContainCells) {
   EXPECT_NE(json.find("\"hits{node=\\\"m1\\\"}\":3"), std::string::npos);
 }
 
+TEST(RegistryTest, EmptyHistogramDumpsZeroMin) {
+  // A registered-but-never-recorded histogram must dump min 0, not the
+  // UINT64_MAX sentinel the live cell uses internally. Bench JSON consumers
+  // read these dumps and a sentinel min wrecks axis autoscaling.
+  metrics::Registry reg;
+  reg.GetHistogram("latency_empty");
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"latency_empty\":{\"count\":0,\"min\":0,\"max\":0,\"p50\":0,\"p99\":0}"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("18446744073709551615"), std::string::npos) << json;
+  // And recording afterwards reports the true minimum.
+  reg.GetHistogram("latency_empty").Record(9);
+  std::string json2 = reg.ToJson();
+  EXPECT_NE(json2.find("\"latency_empty\":{\"count\":1,\"min\":9"), std::string::npos) << json2;
+}
+
 TEST(TraceTest, MacroIsNullSafeWithoutGlobalTracer) {
   ASSERT_EQ(trace::Global(), nullptr);
   EXPECT_FALSE(FARM_TRACE_ACTIVE());
@@ -190,6 +207,50 @@ TEST(TraceTest, RecordsTxPhasesOnMachineTracks) {
 TEST(TraceTest, ByteIdenticalAcrossSameSeedRuns) {
   std::string first = TracedRunJson(7);
   std::string second = TracedRunJson(7);
+  EXPECT_GT(first.size(), 0u);
+  EXPECT_EQ(first, second);
+}
+
+// Determinism gate for the event-queue and fabric hot paths at bench scale:
+// a 32-machine cluster run twice from the same seed must serialize the
+// byte-identical trace. This is what licenses the 4-ary heap's layout
+// freedom and the pooled fabric records -- (time, seq) is a total order, so
+// none of it may be observable.
+std::string TracedRun32Json(uint64_t seed) {
+  trace::Tracer tracer;
+  trace::SetGlobal(&tracer);
+  {
+    auto cluster = MakeStartedCluster(SmallClusterOptions(32, seed));
+    RegionId rid = MustCreateRegion(*cluster, 64 << 10, 16);
+    auto work = [](Cluster* c, RegionId r) -> Task<int> {
+      int committed = 0;
+      for (int i = 0; i < 48; i++) {
+        auto tx = c->node(i % 32).Begin(0);
+        GlobalAddr addr{r, static_cast<uint32_t>((i % 16) * 16)};
+        auto rd = co_await tx->Read(addr, 8);
+        if (!rd.ok()) {
+          continue;
+        }
+        std::vector<uint8_t> bytes(8, static_cast<uint8_t>(i + 1));
+        (void)tx->Write(addr, bytes);
+        Status s = co_await tx->Commit();
+        if (s.ok()) {
+          committed++;
+        }
+      }
+      co_return committed;
+    };
+    auto committed = RunTask(*cluster, work(cluster.get(), rid));
+    EXPECT_TRUE(committed.has_value());
+    EXPECT_GT(*committed, 0);
+  }
+  trace::SetGlobal(nullptr);
+  return tracer.ToJson();
+}
+
+TEST(TraceTest, ByteIdenticalAt32Machines) {
+  std::string first = TracedRun32Json(11);
+  std::string second = TracedRun32Json(11);
   EXPECT_GT(first.size(), 0u);
   EXPECT_EQ(first, second);
 }
