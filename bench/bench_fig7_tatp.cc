@@ -66,6 +66,7 @@ void Run() {
     j->Set("machines", kMachines);
     j->Set("subscribers", topts.subscribers);
   }
+  bench::ReportPhaseLatencies(*cluster);
   bench::ReportSimEvents(cluster->sim().events_processed());
   std::printf("\nShape check: throughput grows with offered load, median latency\n"
               "stays low until the knee, then the p99 tail climbs steeply.\n");

@@ -76,6 +76,7 @@ void Run() {
     j->Set("machines", kMachines);
     j->Set("warehouses", topts.warehouses);
   }
+  bench::ReportPhaseLatencies(*cluster);
   bench::ReportSimEvents(cluster->sim().events_processed());
   std::printf("\nShape check: latencies sit well above TATP's (hundreds of us vs single\n"
               "digits) because transactions touch tens of rows; backing off one load\n"

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/core/cluster.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/workload/driver.h"
@@ -119,6 +120,7 @@ inline void ReportSimEvents(uint64_t events) { internal::SimEventsProcessed() = 
 // Per-bench observability flags, parsed from argv before farm::Run():
 //   --trace-out=<path>    write a Chrome trace-event JSON of the run
 //   --metrics-out=<path>  dump every cluster's metrics registry on teardown
+//   --flight-out=<path>   append every cluster's flight-recorder postmortem
 //   --trace-no-net        omit per-operation fabric events (smaller traces)
 //   --json-out=<path>     write a machine-readable result summary (JSON)
 // Construct one at the top of main(); the destructor writes the trace after
@@ -134,6 +136,8 @@ class BenchEnv {
         trace_path_ = arg + 12;
       } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
         metrics::SetDumpOnDestroy(arg + 14);
+      } else if (std::strncmp(arg, "--flight-out=", 13) == 0) {
+        flight::SetDumpOnDestroy(arg + 13);
       } else if (std::strcmp(arg, "--trace-no-net") == 0) {
         capture_net = false;
       } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
@@ -208,6 +212,29 @@ class BenchEnv {
   // farmlint: allow(wall-clock): benches measure real elapsed time
   std::chrono::steady_clock::time_point wall_start_;
 };
+
+// Emits the commit-phase latency breakdown into the JSON report:
+// phase_<name>_count / _p50_us / _p95_us / _p99_us for each protocol phase,
+// read from the cluster's tx_phase_ns histograms. run_bench_suite fails the
+// transactional benches when these rows are missing from the merged JSON.
+inline void ReportPhaseLatencies(Cluster& cluster) {
+  JsonReport* j = Json();
+  if (j == nullptr) {
+    return;
+  }
+  for (int p = 0; p < flight::kNumPhases; p++) {
+    const char* name = flight::PhaseName(static_cast<flight::Phase>(p));
+    const Histogram& h =
+        cluster.metrics_registry()
+            .GetHistogram("tx_phase_ns", {{"phase", name}})
+            .histogram();
+    std::string prefix = std::string("phase_") + name;
+    j->Set(prefix + "_count", h.count());
+    j->Set(prefix + "_p50_us", static_cast<double>(h.Percentile(50)) / 1e3);
+    j->Set(prefix + "_p95_us", static_cast<double>(h.Percentile(95)) / 1e3);
+    j->Set(prefix + "_p99_us", static_cast<double>(h.Percentile(99)) / 1e3);
+  }
+}
 
 inline ClusterOptions DefaultClusterOptions(int machines, uint64_t seed = 1) {
   ClusterOptions opts;

@@ -426,6 +426,13 @@ ChaosRunResult RunChaos(const ChaosRunOptions& options) {
 ChaosRunResult RunChaosPlan(const ChaosRunOptions& options, const ChaosPlan& plan) {
   ChaosRunResult res;
   res.plan = plan;
+  // Every failure return below snapshots the flight recorders so the
+  // artifact shows the protocol timeline leading up to the violation.
+  auto fail = [&res](Cluster& c, const std::string& why) -> ChaosRunResult& {
+    res.failure = why;
+    res.postmortem = c.FlightPostmortem();
+    return res;
+  };
 
   ClusterOptions copts;
   copts.machines = plan.options.machines;
@@ -448,8 +455,7 @@ ChaosRunResult RunChaosPlan(const ChaosRunOptions& options, const ChaosPlan& pla
   };
   auto created = RunToCompletion(cluster, create(&cluster), 2 * kSecond);
   if (!created.has_value() || !created->ok()) {
-    res.failure = "bank region creation failed";
-    return res;
+    return fail(cluster, "bank region creation failed");
   }
 
   BankOracle oracle(options.accounts, kInitialBalance);
@@ -479,30 +485,26 @@ ChaosRunResult RunChaosPlan(const ChaosRunOptions& options, const ChaosPlan& pla
   }
 
   if (cluster.AnyRegionLost()) {
-    res.failure = "bank region lost all replicas";
-    return res;
+    return fail(cluster, "bank region lost all replicas");
   }
   if (st.commits == 0) {
-    res.failure = "liveness: no transfer ever committed";
-    return res;
+    return fail(cluster, "liveness: no transfer ever committed");
   }
   if (st.first_commit_after_faults == kSimTimeNever ||
       st.first_commit_after_faults > st.fault_deadline + kLivenessWindow) {
-    res.failure = "liveness: no commit within the recovery window after the last fault";
-    return res;
+    return fail(cluster,
+                "liveness: no commit within the recovery window after the last fault");
   }
 
   // Final state, read from the surviving primary's replica.
   const Configuration* cfg = FreshestConfig(cluster);
   const RegionPlacement* placement = cfg == nullptr ? nullptr : cfg->Placement(st.rid);
   if (placement == nullptr || !cluster.machine(placement->primary).alive()) {
-    res.failure = "no live primary for the bank region after settling";
-    return res;
+    return fail(cluster, "no live primary for the bank region after settling");
   }
   RegionReplica* rep = cluster.node(placement->primary).replica(st.rid);
   if (rep == nullptr) {
-    res.failure = "primary is missing its bank region replica";
-    return res;
+    return fail(cluster, "primary is missing its bank region replica");
   }
   std::vector<FinalAccount> final_state(static_cast<size_t>(options.accounts));
   for (int a = 0; a < options.accounts; a++) {
@@ -513,8 +515,7 @@ ChaosRunResult RunChaosPlan(const ChaosRunOptions& options, const ChaosPlan& pla
 
   std::string failure;
   if (!oracle.Check(final_state, &failure)) {
-    res.failure = failure;
-    return res;
+    return fail(cluster, failure);
   }
   res.ok = true;
   return res;

@@ -38,6 +38,9 @@ struct ChaosRunResult {
   // Human-readable record of the events as resolved against cluster state
   // ("t=120ms kill-primary -> m2"); goes in failing-seed artifacts.
   std::vector<std::string> event_log;
+  // Flight-recorder postmortem (merged per-machine protocol timeline),
+  // captured at the moment an invariant fired; empty when ok.
+  std::string postmortem;
 };
 
 // Generates a plan from (options.plan, options.seed) and runs it.

@@ -70,6 +70,8 @@ LogClock& Clock() {
   return clock;
 }
 
+thread_local LogTxScope* g_current_tx_scope = nullptr;
+
 }  // namespace
 
 LogLevel& GlobalLogLevel() {
@@ -87,15 +89,42 @@ void ClearLogClock(const void* owner) {
   }
 }
 
+LogTxScope::LogTxScope(uint64_t config, uint32_t machine, uint32_t thread, uint64_t local)
+    : prev_(g_current_tx_scope),
+      config_(config),
+      machine_(machine),
+      thread_(thread),
+      local_(local) {
+  g_current_tx_scope = this;
+}
+
+LogTxScope::~LogTxScope() { g_current_tx_scope = prev_; }
+
+std::string LogTxScope::CurrentTag() {
+  const LogTxScope* s = g_current_tx_scope;
+  if (s == nullptr) {
+    return std::string();
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "tx<%llu,%u,%u,%llu>",
+                static_cast<unsigned long long>(s->config_), s->machine_, s->thread_,
+                static_cast<unsigned long long>(s->local_));
+  return buf;
+}
+
 void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
   const LogClock& clock = Clock();
+  std::string tag = LogTxScope::CurrentTag();
+  const char* tx_sep = tag.empty() ? "" : " tx=";
   if (clock.now_ns != nullptr) {
     uint64_t ns = clock.now_ns(clock.ctx);
-    std::fprintf(stderr, "[%s] t=%llu.%03lluus %s:%d %s\n", LevelName(level),
+    std::fprintf(stderr, "[%s] t=%llu.%03lluus %s:%d %s%s%s\n", LevelName(level),
                  static_cast<unsigned long long>(ns / 1000),
-                 static_cast<unsigned long long>(ns % 1000), Basename(file), line, msg.c_str());
+                 static_cast<unsigned long long>(ns % 1000), Basename(file), line, msg.c_str(),
+                 tx_sep, tag.c_str());
   } else {
-    std::fprintf(stderr, "[%s] %s:%d %s\n", LevelName(level), Basename(file), line, msg.c_str());
+    std::fprintf(stderr, "[%s] %s:%d %s%s%s\n", LevelName(level), Basename(file), line,
+                 msg.c_str(), tx_sep, tag.c_str());
   }
 }
 

@@ -36,6 +36,30 @@ void ClearLogClock(const void* owner);
 // Internal sink used by the LOG macro; do not call directly.
 void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
 
+// Tags every FARM_LOG line emitted while in scope with ` tx=tx<c,m,t,l>`, so
+// log lines cross-reference flight-recorder dumps. Scopes nest (the inner
+// transaction wins and the outer tag is restored on exit) and must not span
+// a co_await: a suspended coroutine would leave its tag on whatever runs
+// next. The id is passed unpacked so common/ does not depend on core's TxId.
+class LogTxScope {
+ public:
+  LogTxScope(uint64_t config, uint32_t machine, uint32_t thread, uint64_t local);
+  ~LogTxScope();
+  LogTxScope(const LogTxScope&) = delete;
+  LogTxScope& operator=(const LogTxScope&) = delete;
+
+  // The innermost active scope's tx id rendered as "tx<c,m,t,l>", or empty
+  // when no transaction is active (used by LogMessage and tests).
+  static std::string CurrentTag();
+
+ private:
+  LogTxScope* prev_;
+  uint64_t config_;
+  uint32_t machine_;
+  uint32_t thread_;
+  uint64_t local_;
+};
+
 namespace log_internal {
 
 class LogLine {

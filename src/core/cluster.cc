@@ -28,6 +28,13 @@ Cluster::Cluster(ClusterOptions options)
                         options_.nics_per_machine);
   }
 
+  // One flight-recorder ring per FaRM machine; the fabric stamps
+  // message-level records into the same rings.
+  for (int i = 0; i < farm_machines; i++) {
+    flight_.push_back(std::make_unique<flight::Recorder>(static_cast<uint32_t>(i)));
+    fabric_->SetFlightRecorder(static_cast<MachineId>(i), flight_.back().get());
+  }
+
   // Trace setup: name one process per machine with one track per hardware
   // thread, plus a "cluster" pseudo-process for global milestones.
   if (trace::Tracer* tracer = trace::Global()) {
@@ -79,11 +86,25 @@ Cluster::~Cluster() {
   // simulated time.
   ReclaimParkedFrames();
   ClearLogClock(this);
+  // --flight-out= support: append this cluster's merged timeline before the
+  // rings go away.
+  if (!flight::DumpPath().empty()) {
+    flight::AppendDump(FlightPostmortem(), "cluster seed=" + std::to_string(options_.seed));
+  }
   // The tracer outlives the cluster; detach so it cannot stamp events with a
   // dead simulator.
   if (trace::Tracer* tracer = trace::Global()) {
     tracer->AttachClock(nullptr);
   }
+}
+
+std::string Cluster::FlightPostmortem() const {
+  std::vector<const flight::Recorder*> rings;
+  rings.reserve(flight_.size());
+  for (const auto& r : flight_) {
+    rings.push_back(r.get());
+  }
+  return flight::BuildPostmortem(rings);
 }
 
 int Cluster::FailureDomainOf(MachineId m) const {

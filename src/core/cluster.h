@@ -15,6 +15,7 @@
 #include "src/core/node.h"
 #include "src/net/fabric.h"
 #include "src/nvram/nvram.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/simulator.h"
@@ -56,6 +57,12 @@ class Cluster {
   // Per-cluster metric cells (node + fabric counters bind here), so
   // sequential clusters in one process do not bleed counts into each other.
   metrics::Registry& metrics_registry() { return registry_; }
+  // Per-machine flight-recorder ring (nullptr for zk machines).
+  flight::Recorder* flight_recorder(MachineId m) {
+    return m < flight_.size() ? flight_[m].get() : nullptr;
+  }
+  // Causally merged timeline of every machine's ring (the chaos postmortem).
+  std::string FlightPostmortem() const;
 
   int num_machines() const { return options_.machines; }
   Node& node(MachineId m) { return *nodes_[m]; }
@@ -119,6 +126,9 @@ class Cluster {
   metrics::Registry registry_;
   Simulator sim_;
   Pcg32 rng_;
+  // Declared before fabric/nodes (which hold raw pointers into the rings) so
+  // the rings outlive every appender.
+  std::vector<std::unique_ptr<flight::Recorder>> flight_;
   std::unique_ptr<Fabric> fabric_;
   std::vector<std::unique_ptr<Machine>> machines_;  // FaRM + zk machines
   std::vector<std::unique_ptr<NvramStore>> stores_;

@@ -1,0 +1,49 @@
+// Thin adapters between core protocol code and the flight recorder.
+//
+// flight::Record stores the transaction id unpacked (src/obs cannot depend
+// on core's TxId), so every hook site would otherwise repeat the same field
+// copies. These helpers are null-safe: a Node outside a cluster context may
+// have no ring.
+#ifndef SRC_CORE_FLIGHT_HOOKS_H_
+#define SRC_CORE_FLIGHT_HOOKS_H_
+
+#include "src/core/types.h"
+#include "src/obs/flight_recorder.h"
+#include "src/sim/simulator.h"
+
+namespace farm {
+
+inline void FlightLog(flight::Recorder* ring, SimTime now, flight::EventKind kind,
+                      uint8_t arg = 0, uint32_t detail = 0) {
+  if (ring == nullptr) {
+    return;
+  }
+  flight::Record r;
+  r.time_ns = now;
+  r.kind = static_cast<uint8_t>(kind);
+  r.arg = arg;
+  r.detail = detail;
+  ring->Append(r);
+}
+
+inline void FlightLogTx(flight::Recorder* ring, SimTime now, flight::EventKind kind,
+                        const TxId& id, uint8_t arg = 0, uint32_t detail = 0) {
+  if (ring == nullptr) {
+    return;
+  }
+  flight::Record r;
+  r.time_ns = now;
+  r.kind = static_cast<uint8_t>(kind);
+  r.arg = arg;
+  r.detail = detail;
+  r.tx_config = static_cast<uint32_t>(id.config);
+  r.tx_machine = static_cast<uint16_t>(id.machine);
+  r.tx_thread = id.thread;
+  r.tx_local = id.local;
+  r.flags |= flight::Record::kHasTx;
+  ring->Append(r);
+}
+
+}  // namespace farm
+
+#endif  // SRC_CORE_FLIGHT_HOOKS_H_

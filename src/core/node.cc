@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "src/common/logging.h"
 #include "src/core/cluster.h"
+#include "src/core/flight_hooks.h"
 #include "src/obs/trace.h"
 
 namespace farm {
@@ -37,6 +39,10 @@ Node::Node(Cluster* cluster, Machine* machine, NvramStore* store, NodeOptions op
   FARM_CHECK(machine_->NumThreads() == options_.worker_threads + 1)
       << "machine must have worker_threads + 1 hardware threads";
   stats_.BindTo(cluster_->metrics_registry(), "m" + std::to_string(machine_->id()));
+  flight_ = cluster_->flight_recorder(id());
+  // All nodes bind to the same cluster-wide phase cells (labels carry no
+  // node id), so dumps and bench rows see cluster totals.
+  phase_metrics_.BindTo(cluster_->metrics_registry());
   options_.msgr.worker_threads = options_.worker_threads;
   messenger_ = std::make_unique<Messenger>(fabric(), *machine_, *store_, options_.msgr);
   messenger_->SetHandlers(
@@ -98,6 +104,7 @@ void Node::ColdRestart() {
   inflight_.clear();
   pending_truncations_.clear();
   truncate_flush_armed_ = false;
+  truncate_pending_.clear();
   pending_.clear();
   log_index_.clear();
   truncated_.clear();
@@ -351,6 +358,11 @@ void Node::QueueTruncation(const TxId& tx_id, const std::vector<MachineId>& hold
   for (MachineId m : holders) {
     pending_truncations_[m].push_back(tx_id);
   }
+  if (!holders.empty() && truncate_pending_.count(tx_id) == 0) {
+    FlightLogTx(flight_, sim().Now(), flight::EventKind::kPhaseBegin, tx_id,
+                static_cast<uint8_t>(flight::Phase::kTruncate));
+    truncate_pending_[tx_id] = {sim().Now(), static_cast<int>(holders.size())};
+  }
   if (!truncate_flush_armed_) {
     truncate_flush_armed_ = true;
     sim().After(options_.truncate_flush_interval, [this]() {
@@ -373,7 +385,26 @@ std::vector<TxId> Node::TakeTruncationsFor(MachineId dst, size_t max) {
   if (it->second.empty()) {
     pending_truncations_.erase(it);
   }
+  for (const TxId& t : out) {
+    TruncationDequeued(t, /*dispatched=*/true);
+  }
   return out;
+}
+
+void Node::TruncationDequeued(const TxId& tx_id, bool dispatched) {
+  auto it = truncate_pending_.find(tx_id);
+  if (it == truncate_pending_.end()) {
+    return;
+  }
+  if (--it->second.second > 0) {
+    return;
+  }
+  if (dispatched) {
+    phase_metrics_.RecordPhase(flight::Phase::kTruncate, sim().Now() - it->second.first);
+    FlightLogTx(flight_, sim().Now(), flight::EventKind::kPhaseEnd, tx_id,
+                static_cast<uint8_t>(flight::Phase::kTruncate));
+  }
+  truncate_pending_.erase(it);
 }
 
 void Node::FlushTruncations() {
@@ -387,6 +418,9 @@ void Node::FlushTruncations() {
   }
   for (MachineId m : peers) {
     if (!InConfig(m) || !fabric().IsAlive(m)) {
+      for (const TxId& t : pending_truncations_[m]) {
+        TruncationDequeued(t, /*dispatched=*/false);
+      }
       pending_truncations_.erase(m);
       continue;
     }
@@ -480,6 +514,8 @@ void Node::HandleLogRecord(MachineId from, uint64_t seq, const TxLogRecord& rec)
     case LogRecordType::kCommitBackup:
       // No foreground CPU work at backups: the record just sits in the
       // non-volatile log until truncation applies it (section 4).
+      FlightLogTx(flight_, sim().Now(), flight::EventKind::kCommitBackupRecord, rec.tx,
+                  0, from);
       break;
     case LogRecordType::kCommitPrimary:
       ProcessCommitPrimary(from, rec);
@@ -498,6 +534,7 @@ void Node::HandleLogRecord(MachineId from, uint64_t seq, const TxLogRecord& rec)
 
 void Node::ProcessLock(MachineId from, uint64_t seq, const TxLogRecord& rec) {
   (void)seq;
+  LogTxScope log_tx(rec.tx.config, rec.tx.machine, rec.tx.thread, rec.tx.local);
   // The NSDI'14-protocol ablation also writes LOCK records to backups; a
   // backup just stores the record (no CAS, no reply) -- replies come only
   // from primaries in either protocol.
@@ -522,6 +559,8 @@ void Node::ProcessLock(MachineId from, uint64_t seq, const TxLogRecord& rec) {
   // is still running on a stale configuration. The failed lock reply makes
   // it abort cleanly.
   if (!config_.Contains(from)) {
+    FlightLogTx(flight_, sim().Now(), flight::EventKind::kLockReject, rec.tx,
+                /*arg=*/1, from);
     BufWriter rej;
     PutTxId(rej, rec.tx);
     rej.PutU8(0);
@@ -530,11 +569,13 @@ void Node::ProcessLock(MachineId from, uint64_t seq, const TxLogRecord& rec) {
   }
 
   bool ok = true;
+  RegionId conflict_region = 0;
   std::vector<const WireWrite*> locked;
   for (const WireWrite& w : rec.writes) {
     RegionReplica* rep = replica(w.addr.region);
     if (rep == nullptr || !IsPrimaryOf(w.addr.region) || !rep->active()) {
       ok = false;
+      conflict_region = w.addr.region;
       break;
     }
     worker_thread.InjectBusy(fabric().cost().cpu_lock_per_object);
@@ -542,6 +583,7 @@ void Node::ProcessLock(MachineId from, uint64_t seq, const TxLogRecord& rec) {
     uint64_t desired = VersionWord::WithLock(expected);
     if (!rep->CasHeader(w.addr.offset, expected, desired)) {
       ok = false;
+      conflict_region = w.addr.region;
       break;
     }
     locked.push_back(&w);
@@ -553,9 +595,14 @@ void Node::ProcessLock(MachineId from, uint64_t seq, const TxLogRecord& rec) {
       RegionReplica* rep = replica(w->addr.region);
       rep->WriteHeader(w->addr.offset, w->ExpectedWord());
     }
+    FlightLogTx(flight_, sim().Now(), flight::EventKind::kLockReject, rec.tx,
+                /*arg=*/0, conflict_region);
   } else {
     pending.locks_held = true;
     pending_[rec.tx] = std::move(pending);
+    FlightLogTx(flight_, sim().Now(), flight::EventKind::kLockAcquire, rec.tx,
+                static_cast<uint8_t>(rec.writes.size() > 255 ? 255 : rec.writes.size()),
+                rec.writes.empty() ? 0 : rec.writes.front().addr.region);
   }
 
   BufWriter w;
@@ -593,11 +640,12 @@ void Node::ApplyWriteAtBackup(const WireWrite& w) {
 }
 
 void Node::ProcessCommitPrimary(MachineId from, const TxLogRecord& rec) {
-  (void)from;
+  LogTxScope log_tx(rec.tx.config, rec.tx.machine, rec.tx.thread, rec.tx.local);
   auto it = pending_.find(rec.tx);
   if (it == pending_.end() || !it->second.locks_held || it->second.applied) {
     return;  // already handled (possibly by recovery)
   }
+  FlightLogTx(flight_, sim().Now(), flight::EventKind::kCommitPrimaryRecord, rec.tx, 0, from);
   HwThread& worker_thread = machine_->thread(static_cast<int>(
       rec.tx.machine % static_cast<MachineId>(options_.worker_threads)));
   for (const WireWrite& w : it->second.lock_record.writes) {
@@ -609,11 +657,12 @@ void Node::ProcessCommitPrimary(MachineId from, const TxLogRecord& rec) {
 }
 
 void Node::ProcessAbort(MachineId from, const TxLogRecord& rec) {
-  (void)from;
+  LogTxScope log_tx(rec.tx.config, rec.tx.machine, rec.tx.thread, rec.tx.local);
   auto it = pending_.find(rec.tx);
   if (it == pending_.end()) {
     return;
   }
+  FlightLogTx(flight_, sim().Now(), flight::EventKind::kAbortRecord, rec.tx, 0, from);
   if (it->second.locks_held && !it->second.applied) {
     for (const WireWrite& w : it->second.lock_record.writes) {
       RegionReplica* rep = replica(w.addr.region);
@@ -635,7 +684,7 @@ bool Node::WasTruncated(const TxId& id) const {
 }
 
 void Node::ProcessTruncation(MachineId from, const TxId& id) {
-  (void)from;
+  FlightLogTx(flight_, sim().Now(), flight::EventKind::kTruncateRecord, id, 0, from);
   RecordTruncated(id);
   auto it = log_index_.find(id);
   if (it != log_index_.end()) {
@@ -831,20 +880,28 @@ void Node::HandleMessage(MachineId from, MsgType type, std::vector<uint8_t> payl
 
 void Node::HandleValidate(MachineId from, BufReader& r) {
   TxId tx_id = GetTxId(r);
+  LogTxScope log_tx(tx_id.config, tx_id.machine, tx_id.thread, tx_id.local);
   uint32_t n = r.GetU32();
   bool ok = true;
+  RegionId fail_region = 0;
   for (uint32_t i = 0; i < n; i++) {
     GlobalAddr addr = GetAddr(r);
     uint64_t word = r.GetU64();
     RegionReplica* rep = replica(addr.region);
     if (rep == nullptr || !IsPrimaryOf(addr.region)) {
       ok = false;
+      fail_region = addr.region;
       continue;
     }
     uint64_t current = rep->ReadHeader(addr.offset);
     if (current != word) {  // version moved, alloc changed, or locked
       ok = false;
+      fail_region = addr.region;
     }
+  }
+  if (!ok) {
+    FlightLogTx(flight_, sim().Now(), flight::EventKind::kValidateFail, tx_id, 0,
+                fail_region);
   }
   BufWriter w;
   PutTxId(w, tx_id);

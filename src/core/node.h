@@ -35,6 +35,7 @@
 #include "src/core/wire.h"
 #include "src/net/fabric.h"
 #include "src/nvram/nvram.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/sim/task.h"
 #include "src/zk/coord.h"
@@ -128,6 +129,10 @@ class Node {
   RegionAllocator* allocator(RegionId r);
   const NodeStats& stats() const { return stats_; }
   NodeStats& mutable_stats() { return stats_; }
+  // This machine's flight-recorder ring (may be null outside a cluster).
+  flight::Recorder* flight() { return flight_; }
+  // Cluster-wide commit-phase histograms + abort-reason counters.
+  flight::PhaseMetrics& phase_metrics() { return phase_metrics_; }
   Machine& machine() { return *machine_; }
   Messenger& messenger() { return *messenger_; }
   LeaseManager& lease_manager() { return *lease_; }
@@ -245,6 +250,9 @@ class Node {
   void HandleRefRequest(MachineId from, BufReader& r);
   void HandleBlockHeader(MachineId from, BufReader& r);
   void FlushTruncations();  // periodic explicit TRUNCATE records
+  // One holder's truncation id left the queue; records the truncate phase
+  // once the last holder's copy is dispatched (or abandons it for dead peers).
+  void TruncationDequeued(const TxId& id, bool dispatched);
   void ShipPendingBlockHeaders(RegionId r);
 
   // ---- CM-side duties (cm.cc) ----
@@ -351,6 +359,9 @@ class Node {
   std::map<TxId, Transaction*> inflight_;
   std::map<MachineId, std::deque<TxId>> pending_truncations_;
   bool truncate_flush_armed_ = false;
+  // Truncate-phase tracking: queue time + holders still awaiting dispatch,
+  // so the truncate histogram measures queue-to-last-dispatch latency.
+  std::map<TxId, std::pair<SimTime, int>> truncate_pending_;
 
   // Participant-side state.
   struct PendingTx {
@@ -418,6 +429,8 @@ class Node {
   int data_recovery_inflight_ = 0;
 
   NodeStats stats_;
+  flight::Recorder* flight_ = nullptr;
+  flight::PhaseMetrics phase_metrics_;
 };
 
 }  // namespace farm

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/cluster.h"
+#include "src/core/flight_hooks.h"
 #include "src/core/node.h"
 #include "src/obs/trace.h"
 
@@ -91,6 +92,11 @@ void Node::OnNewConfig(MachineId from, Configuration new_config) {
     return;
   }
   stats_.reconfigurations++;
+  FlightLog(flight_, sim().Now(), flight::EventKind::kReconfig, 0,
+            static_cast<uint32_t>(new_config.id));
+  FlightLog(flight_, sim().Now(), flight::EventKind::kRecoveryStep,
+            static_cast<uint8_t>(flight::RecoveryStep::kNewConfig),
+            static_cast<uint32_t>(new_config.id));
   config_ = std::move(new_config);
   const Configuration& cfg = config_;
   regions_active_sent_ = false;
@@ -155,6 +161,9 @@ void Node::OnNewConfigCommit(ConfigId cid) {
 
 void Node::BeginTransactionStateRecovery() {
   FARM_TRACE(Instant(static_cast<uint32_t>(id()), 0, "recovery", "tx-state-recovery"));
+  FlightLog(flight_, sim().Now(), flight::EventKind::kRecoveryStep,
+            static_cast<uint8_t>(flight::RecoveryStep::kTxStateStart),
+            static_cast<uint32_t>(config_.id));
   // Step 2: drain logs. Everything already delivered to our rings is
   // processed now; LastDrained is persisted to the control block that
   // reconfiguration probes read.
@@ -438,6 +447,8 @@ Detached Node::FinishLockRecovery(RegionId region) {
   // The region becomes active: new transactions may read and commit here in
   // parallel with the remaining recovery steps (section 5.3 performance).
   rep->set_active(true);
+  FlightLog(flight_, sim().Now(), flight::EventKind::kRecoveryStep,
+            static_cast<uint8_t>(flight::RecoveryStep::kLockRecovery), region);
   auto dit = deferred_refs_.find(region);
   if (dit != deferred_refs_.end()) {
     for (const auto& [m, correlation] : dit->second) {
@@ -829,8 +840,12 @@ void Node::Decide(const TxId& tid, bool commit) {
   d.decided = true;
   d.committed = commit;
   vote_timers_.erase(tid);
+  LogTxScope log_tx(tid.config, tid.machine, tid.thread, tid.local);
   FARM_TRACE(Instant(static_cast<uint32_t>(id()), 0, "recovery",
                      commit ? "decide-commit" : "decide-abort"));
+  FlightLogTx(flight_, sim().Now(), flight::EventKind::kRecoveryStep, tid,
+              static_cast<uint8_t>(commit ? flight::RecoveryStep::kDecideCommit
+                                          : flight::RecoveryStep::kDecideAbort));
 
   std::set<MachineId> replicas;
   for (RegionId r : d.regions) {
@@ -873,6 +888,10 @@ void Node::Decide(const TxId& tid, bool commit) {
 void Node::HandleRecoveryDecision(MachineId from, MsgType type, BufReader& r) {
   TxId tid = GetTxId(r);
   bool commit = type == MsgType::kCommitRecovery;
+  LogTxScope log_tx(tid.config, tid.machine, tid.thread, tid.local);
+  FlightLogTx(flight_, sim().Now(), flight::EventKind::kRecoveryStep, tid,
+              static_cast<uint8_t>(flight::RecoveryStep::kDecisionApply),
+              commit ? 1 : 0);
 
   // Gather the lock-record contents we hold for this transaction.
   const TxLogRecord* contents = nullptr;
@@ -997,6 +1016,8 @@ void Node::OnRecoveryDecisionAck(MachineId from, const TxId& tid) {
 void Node::HandleTruncateRecovery(MachineId from, BufReader& r) {
   (void)from;
   TxId tid = GetTxId(r);
+  FlightLogTx(flight_, sim().Now(), flight::EventKind::kRecoveryStep, tid,
+              static_cast<uint8_t>(flight::RecoveryStep::kTruncateRecovery));
   ProcessTruncation(tid.machine, tid);
   for (auto& [rid, rr] : region_recovery_) {
     (void)rid;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/cluster.h"
+#include "src/core/flight_hooks.h"
 #include "src/core/node.h"
 #include "src/obs/trace.h"
 
@@ -28,7 +29,10 @@ uint32_t SmallRecordReservation() {
 }  // namespace
 
 Transaction::Transaction(Node* node, int thread)
-    : node_(node), thread_(thread), begin_config_(node->config().id) {}
+    : node_(node),
+      thread_(thread),
+      begin_config_(node->config().id),
+      begin_time_(node->sim().Now()) {}
 
 Transaction::~Transaction() {
   *alive_ = false;
@@ -313,6 +317,17 @@ Task<Status> Transaction::Commit() {
   node_->RegisterInflight(this);
   registered_ = true;
 
+  // The execute phase ran from Begin() to here; the id only exists now, so
+  // its begin record is stamped retroactively (the postmortem merge sorts by
+  // time, not append order).
+  flight::Recorder* ring = node_->flight();
+  flight::PhaseMetrics& pm = node_->phase_metrics();
+  FlightLogTx(ring, begin_time_, flight::EventKind::kPhaseBegin, id_,
+              static_cast<uint8_t>(flight::Phase::kExecute));
+  FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kPhaseEnd, id_,
+              static_cast<uint8_t>(flight::Phase::kExecute));
+  pm.RecordPhase(flight::Phase::kExecute, node_->sim().Now() - begin_time_);
+
   const uint32_t trace_pid = static_cast<uint32_t>(node_->id());
   const uint32_t trace_tid = static_cast<uint32_t>(thread_);
   trace::SpanGuard commit_span(trace_pid, trace_tid, "tx", "commit", TxTraceId(id_));
@@ -320,6 +335,9 @@ Task<Status> Transaction::Commit() {
   co_await node_->worker(thread_).Execute(cost.cpu_tx_commit_setup);
 
   if (writes_.empty()) {
+    const SimTime validate_start = node_->sim().Now();
+    FlightLogTx(ring, validate_start, flight::EventKind::kPhaseBegin, id_,
+                static_cast<uint8_t>(flight::Phase::kValidate));
     Status v = co_await ValidatePhase();
     if (recovery_resolution_.has_value()) {
       // A reconfiguration changed a read region's primary mid-validation;
@@ -330,10 +348,16 @@ Task<Status> Transaction::Commit() {
     node_->UnregisterInflight(id_);
     registered_ = false;
     if (v.ok()) {
+      pm.RecordPhase(flight::Phase::kValidate, node_->sim().Now() - validate_start);
+      FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kPhaseEnd, id_,
+                  static_cast<uint8_t>(flight::Phase::kValidate));
       committed_ = true;
       node_->mutable_stats().tx_committed++;
     } else {
       node_->mutable_stats().tx_aborted_validate++;
+      pm.CountAbort(flight::AbortReason::kValidateConflict);
+      FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kAbort, id_,
+                  static_cast<uint8_t>(flight::AbortReason::kValidateConflict));
     }
     co_return v;
   }
@@ -344,6 +368,9 @@ Task<Status> Transaction::Commit() {
     registered_ = false;
     ReleaseAllocs();
     node_->mutable_stats().tx_aborted_lock++;
+    pm.CountAbort(flight::AbortReason::kNoPlacement);
+    FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kAbort, id_,
+                static_cast<uint8_t>(flight::AbortReason::kNoPlacement));
     co_return participants.status();
   }
   Participants& p = *participants;
@@ -353,12 +380,18 @@ Task<Status> Transaction::Commit() {
     registered_ = false;
     ReleaseAllocs();
     node_->mutable_stats().tx_aborted_lock++;
+    pm.CountAbort(flight::AbortReason::kLogReservation);
+    FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kAbort, id_,
+                static_cast<uint8_t>(flight::AbortReason::kLogReservation));
     co_return Status(StatusCode::kResourceExhausted, "log reservation failed");
   }
 
   // ---- Phase 1: LOCK ----
   {
     trace::SpanGuard lock_span(trace_pid, trace_tid, "tx", "lock", TxTraceId(id_));
+    const SimTime lock_start = node_->sim().Now();
+    FlightLogTx(ring, lock_start, flight::EventKind::kPhaseBegin, id_,
+                static_cast<uint8_t>(flight::Phase::kLock));
     lock_replies_pending_ = static_cast<int>(p.primary_writes.size());
     lock_all_ok_ = true;
     for (const auto& [m, writes] : p.primary_writes) {
@@ -387,6 +420,8 @@ Task<Status> Transaction::Commit() {
       node_->mutable_stats().tx_unresolved++;
       node_->UnregisterInflight(id_);
       registered_ = false;
+      FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kAbort, id_,
+                  static_cast<uint8_t>(flight::AbortReason::kUnresolvedLock));
       co_return UnavailableStatus("commit unresolved: lock phase");
     }
     if (!lock_all_ok_) {
@@ -395,13 +430,22 @@ Task<Status> Transaction::Commit() {
       node_->UnregisterInflight(id_);
       registered_ = false;
       node_->mutable_stats().tx_aborted_lock++;
+      pm.CountAbort(flight::AbortReason::kLockConflict);
+      FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kAbort, id_,
+                  static_cast<uint8_t>(flight::AbortReason::kLockConflict));
       co_return AbortedStatus("lock conflict");
     }
+    pm.RecordPhase(flight::Phase::kLock, node_->sim().Now() - lock_start);
+    FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kPhaseEnd, id_,
+                static_cast<uint8_t>(flight::Phase::kLock));
   }
 
   // ---- Phase 2: VALIDATE (one-sided reads; RPC above threshold t_r) ----
   {
     trace::SpanGuard validate_span(trace_pid, trace_tid, "tx", "validate", TxTraceId(id_));
+    const SimTime validate_start = node_->sim().Now();
+    FlightLogTx(ring, validate_start, flight::EventKind::kPhaseBegin, id_,
+                static_cast<uint8_t>(flight::Phase::kValidate));
     Status v = co_await ValidatePhase();
     if (recovery_resolution_.has_value()) {
       co_return FinishFromRecovery();
@@ -412,13 +456,22 @@ Task<Status> Transaction::Commit() {
       node_->UnregisterInflight(id_);
       registered_ = false;
       node_->mutable_stats().tx_aborted_validate++;
+      pm.CountAbort(flight::AbortReason::kValidateConflict);
+      FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kAbort, id_,
+                  static_cast<uint8_t>(flight::AbortReason::kValidateConflict));
       co_return v;
     }
+    pm.RecordPhase(flight::Phase::kValidate, node_->sim().Now() - validate_start);
+    FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kPhaseEnd, id_,
+                static_cast<uint8_t>(flight::Phase::kValidate));
   }
 
   // ---- Phase 3: COMMIT-BACKUP (one-sided writes; wait for NIC acks) ----
   {
     trace::SpanGuard cb_span(trace_pid, trace_tid, "tx", "commit-backup", TxTraceId(id_));
+    const SimTime cb_start = node_->sim().Now();
+    FlightLogTx(ring, cb_start, flight::EventKind::kPhaseBegin, id_,
+                static_cast<uint8_t>(flight::Phase::kCommitBackup));
     WaitGroup wg;
     auto all_ok = std::make_shared<bool>(true);
     for (const auto& [m, writes] : p.backup_writes) {
@@ -454,6 +507,8 @@ Task<Status> Transaction::Commit() {
         node_->mutable_stats().tx_unresolved++;
         node_->UnregisterInflight(id_);
         registered_ = false;
+        FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kAbort, id_,
+                    static_cast<uint8_t>(flight::AbortReason::kUnresolvedBackupAck));
         co_return UnavailableStatus("commit unresolved: backup acks");
       }
     }
@@ -469,13 +524,21 @@ Task<Status> Transaction::Commit() {
       node_->mutable_stats().tx_unresolved++;
       node_->UnregisterInflight(id_);
       registered_ = false;
+      FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kAbort, id_,
+                  static_cast<uint8_t>(flight::AbortReason::kUnresolvedBackupFailure));
       co_return UnavailableStatus("commit unresolved: backup failure");
     }
+    pm.RecordPhase(flight::Phase::kCommitBackup, node_->sim().Now() - cb_start);
+    FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kPhaseEnd, id_,
+                static_cast<uint8_t>(flight::Phase::kCommitBackup));
   }
 
   // ---- Phase 4: COMMIT-PRIMARY (report committed on the first ack) ----
   {
     trace::SpanGuard cp_span(trace_pid, trace_tid, "tx", "commit-primary", TxTraceId(id_));
+    const SimTime cp_start = node_->sim().Now();
+    FlightLogTx(ring, cp_start, flight::EventKind::kPhaseBegin, id_,
+                static_cast<uint8_t>(flight::Phase::kCommitPrimary));
     struct CpState {
       int pending = 0;
       bool any_ok = false;
@@ -539,9 +602,14 @@ Task<Status> Transaction::Commit() {
         node_->mutable_stats().tx_unresolved++;
         node_->UnregisterInflight(id_);
         registered_ = false;
+        FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kAbort, id_,
+                    static_cast<uint8_t>(flight::AbortReason::kUnresolvedPrimaryAck));
         co_return UnavailableStatus("commit unresolved: primary acks");
       }
     }
+    pm.RecordPhase(flight::Phase::kCommitPrimary, node_->sim().Now() - cp_start);
+    FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kPhaseEnd, id_,
+                static_cast<uint8_t>(flight::Phase::kCommitPrimary));
   }
 
   committed_ = true;
@@ -552,6 +620,7 @@ Task<Status> Transaction::Commit() {
 }
 
 Status Transaction::FinishFromRecovery() {
+  LogTxScope log_tx(id_.config, id_.machine, id_.thread, id_.local);
   bool committed = *recovery_resolution_;
   committed_ = committed;
   if (registered_) {
@@ -564,6 +633,9 @@ Status Transaction::FinishFromRecovery() {
     return OkStatus();
   }
   node_->mutable_stats().tx_recovered_abort++;
+  node_->phase_metrics().CountAbort(flight::AbortReason::kRecoveryAbort);
+  FlightLogTx(node_->flight(), node_->sim().Now(), flight::EventKind::kAbort, id_,
+              static_cast<uint8_t>(flight::AbortReason::kRecoveryAbort));
   ReleaseAllocs();
   return AbortedStatus("aborted by recovery");
 }
@@ -656,6 +728,7 @@ Task<Status> Transaction::ValidatePhase() {
 }
 
 void Transaction::AbortParticipants(const Participants& p) {
+  LogTxScope log_tx(id_.config, id_.machine, id_.thread, id_.local);
   for (const auto& [m, writes] : p.primary_writes) {
     (void)writes;
     TxLogRecord rec = MakeRecord(LogRecordType::kAbort, m, nullptr, {});

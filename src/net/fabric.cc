@@ -2,11 +2,28 @@
 
 #include <cstring>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/trace.h"
 
 namespace farm {
 
 namespace {
+
+// Message-level flight records (msg-send at the caller, msg-recv at the
+// handler). Service id in arg, peer machine in detail; no transaction id at
+// this layer.
+void FlightMsg(flight::Recorder* ring, SimTime now, flight::EventKind kind,
+               uint16_t service, MachineId peer) {
+  if (ring == nullptr) {
+    return;
+  }
+  flight::Record r;
+  r.time_ns = now;
+  r.kind = static_cast<uint8_t>(kind);
+  r.arg = static_cast<uint8_t>(service & 0xff);
+  r.detail = peer;
+  ring->Append(r);
+}
 
 // Wire sizes of verb headers (request without payload / response framing).
 constexpr uint32_t kVerbHeaderBytes = 32;
@@ -424,12 +441,17 @@ void Fabric::DropRpcRef(RpcOp* op) {
   }
 }
 
+void Fabric::SetFlightRecorder(MachineId m, flight::Recorder* rec) {
+  Ep(m).flight = rec;
+}
+
 Future<NetResult> Fabric::Call(MachineId src, MachineId dst, uint16_t service,
                                std::vector<uint8_t> request, HwThread* thread,
                                SimDuration timeout) {
   stats_.rpcs++;
   stats_.rpc_bytes += request.size();
   TraceOp("rpc", src, thread, "rpc_bytes", stats_.rpc_bytes);
+  FlightMsg(Ep(src).flight, sim_.Now(), flight::EventKind::kMsgSend, service, dst);
 
   RpcOp* op = AcquireRpc();
   op->src = src;
@@ -533,6 +555,7 @@ void Fabric::RpcInvokeHandler(RpcOp* op) {
     DropRpcRef(op);  // service vanished while the request was queued
     return;
   }
+  FlightMsg(dep.flight, sim_.Now(), flight::EventKind::kMsgRecv, op->service, op->src);
   // The reply closure is two pointers wide, so the ReplyFn std::function the
   // handler receives stays in its small-object buffer. The handler may hold
   // it past this call; the chain's ref keeps the record alive until reply.

@@ -213,10 +213,18 @@ TEST(TraceTest, ByteIdenticalAcrossSameSeedRuns) {
 
 // Determinism gate for the event-queue and fabric hot paths at bench scale:
 // a 32-machine cluster run twice from the same seed must serialize the
-// byte-identical trace. This is what licenses the 4-ary heap's layout
+// byte-identical trace AND the byte-identical flight-recorder postmortem
+// (the recorder is always on, so this also proves it observes without
+// perturbing the schedule). This is what licenses the 4-ary heap's layout
 // freedom and the pooled fabric records -- (time, seq) is a total order, so
 // none of it may be observable.
-std::string TracedRun32Json(uint64_t seed) {
+struct Run32Output {
+  std::string trace_json;
+  std::string postmortem;
+};
+
+Run32Output TracedRun32(uint64_t seed) {
+  Run32Output out;
   trace::Tracer tracer;
   trace::SetGlobal(&tracer);
   {
@@ -243,16 +251,20 @@ std::string TracedRun32Json(uint64_t seed) {
     auto committed = RunTask(*cluster, work(cluster.get(), rid));
     EXPECT_TRUE(committed.has_value());
     EXPECT_GT(*committed, 0);
+    out.postmortem = cluster->FlightPostmortem();
   }
   trace::SetGlobal(nullptr);
-  return tracer.ToJson();
+  out.trace_json = tracer.ToJson();
+  return out;
 }
 
 TEST(TraceTest, ByteIdenticalAt32Machines) {
-  std::string first = TracedRun32Json(11);
-  std::string second = TracedRun32Json(11);
-  EXPECT_GT(first.size(), 0u);
-  EXPECT_EQ(first, second);
+  Run32Output first = TracedRun32(11);
+  Run32Output second = TracedRun32(11);
+  EXPECT_GT(first.trace_json.size(), 0u);
+  EXPECT_EQ(first.trace_json, second.trace_json);
+  EXPECT_GT(first.postmortem.size(), 0u);
+  EXPECT_EQ(first.postmortem, second.postmortem);
 }
 
 }  // namespace

@@ -74,6 +74,11 @@ void DumpFailure(const Args& args, const ChaosRunResult& res) {
   for (const auto& line : res.event_log) {
     log_out << line << "\n";
   }
+  if (!res.postmortem.empty()) {
+    std::ofstream pm_out(base + ".postmortem");
+    pm_out << res.postmortem;
+    std::cerr << "dumped " << base << ".postmortem (inspect with txdump)\n";
+  }
   std::cerr << "dumped " << base << ".plan (replay with --plan=)\n";
 }
 

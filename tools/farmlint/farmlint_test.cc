@@ -193,6 +193,16 @@ TEST(RuleFixtureTest, ChaosRngIsOffByDefault) {
   EXPECT_EQ(hits.count("chaos-rng"), 0u);
 }
 
+TEST(RuleFixtureTest, RecorderPodFlagsNonPodRecords) {
+  auto hits = LintFixture("recorder_bad.cc", DefaultRules());
+  EXPECT_EQ(hits["recorder-pod"], 4);
+  EXPECT_EQ(hits.size(), 1u) << "only recorder-pod may fire";
+}
+
+TEST(RuleFixtureTest, RecorderPodAllowsFlatRecords) {
+  EXPECT_TRUE(LintFixture("recorder_good.cc", DefaultRules()).empty());
+}
+
 TEST(RuleFixtureTest, ChaosRngFlagsLiteralSeeds) {
   std::set<std::string> enabled = DefaultRules();
   enabled.insert("chaos-rng");
@@ -246,6 +256,7 @@ TEST(DriverTest, KnownRuleNames) {
   EXPECT_TRUE(IsKnownRule("unordered-iter"));
   EXPECT_FALSE(IsKnownRule("no-such-rule"));
   EXPECT_TRUE(IsKnownRule("chaos-rng"));
+  EXPECT_TRUE(IsKnownRule("recorder-pod"));
 }
 
 }  // namespace

@@ -63,6 +63,9 @@ const std::vector<RuleInfo> kRules = {
     {"include-guard", true, "header must start with an include guard or #pragma once"},
     {"using-namespace-header", true,
      "using-directive in a header leaks names into every includer"},
+    {"recorder-pod", true,
+     "flight-recorder records (structs named *Record in files using "
+     "src/obs/flight_recorder.h) must stay trivially copyable and pointer-free"},
 };
 
 // line -> rules allowed on that line. An allow comment covers its own line
@@ -403,6 +406,102 @@ void CheckKeyTypes(const std::vector<const Token*>& sig, Reporter& rep) {
   }
 }
 
+// Flight-recorder records are retained in per-machine rings long past the
+// lifetime of everything they describe, so any struct named `*Record` in a
+// file that defines or includes the recorder must stay a flat POD: no
+// pointer or reference members, no owning containers, no virtuals.
+constexpr std::array<std::string_view, 10> kNonPodMemberTypes = {
+    "string", "vector",     "unique_ptr", "shared_ptr", "weak_ptr",
+    "function", "map",      "set",        "deque",      "list"};
+
+bool UsesFlightRecorder(const FileInput& file) {
+  if (file.basename == "flight_recorder.h" || file.basename == "flight_recorder.cc") {
+    return true;
+  }
+  for (const Token& t : file.tokens) {
+    if (t.kind == TokKind::kString &&
+        t.text.find("flight_recorder.h") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckRecorderPod(const FileInput& file, const std::vector<const Token*>& sig,
+                      Reporter& rep) {
+  if (!rep.RuleEnabled("recorder-pod") || !UsesFlightRecorder(file)) {
+    return;
+  }
+  for (size_t i = 0; i + 2 < sig.size(); ++i) {
+    if (!IsIdent(sig[i], "struct") || sig[i + 1]->kind != TokKind::kIdentifier) {
+      continue;
+    }
+    const std::string& name = sig[i + 1]->text;
+    constexpr std::string_view kSuffix = "Record";
+    if (name.size() < kSuffix.size() ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) != 0) {
+      continue;
+    }
+    // Find the body (skip base clauses; `struct FooRecord;` forward decls
+    // have none).
+    size_t open = i + 2;
+    while (open < sig.size() && !IsPunct(sig[open], "{") && !IsPunct(sig[open], ";")) {
+      open++;
+    }
+    if (open >= sig.size() || IsPunct(sig[open], ";")) {
+      continue;
+    }
+    // Walk the body one declaration at a time. A declaration ends at a `;`
+    // at struct depth or when a nested brace group closes back to struct
+    // depth (method bodies, brace initializers).
+    auto check_stmt = [&](size_t b, size_t e) {
+      bool has_paren = false;
+      for (size_t k = b; k < e; ++k) {
+        if (IsPunct(sig[k], "(")) {
+          has_paren = true;
+          break;
+        }
+      }
+      for (size_t k = b; k < e; ++k) {
+        const Token* t = sig[k];
+        if (IsIdent(t, "virtual")) {
+          rep.Report("recorder-pod", t->line, t->col,
+                     "'" + name + "' has a virtual member; records must stay "
+                     "trivially copyable");
+          return;
+        }
+        if (!has_paren && t->kind == TokKind::kIdentifier &&
+            Contains(kNonPodMemberTypes, t->text)) {
+          rep.Report("recorder-pod", t->line, t->col,
+                     "'" + name + "' member uses '" + t->text +
+                         "'; records must hold only flat scalar data");
+          return;
+        }
+        if (!has_paren &&
+            (IsPunct(t, "*") || IsPunct(t, "&") || IsPunct(t, "&&"))) {
+          rep.Report("recorder-pod", t->line, t->col,
+                     "'" + name + "' has a pointer/reference member; records "
+                     "outlive everything they point at");
+          return;
+        }
+      }
+    };
+    int depth = 1;
+    size_t stmt_begin = open + 1;
+    for (size_t j = open + 1; j < sig.size() && depth > 0; ++j) {
+      if (IsPunct(sig[j], "{")) {
+        depth++;
+      } else if (IsPunct(sig[j], "}")) {
+        depth--;
+      }
+      if (depth == 0 || (depth == 1 && (IsPunct(sig[j], ";") || IsPunct(sig[j], "}")))) {
+        check_stmt(stmt_begin, j);
+        stmt_begin = j + 1;
+      }
+    }
+  }
+}
+
 void CheckHeaderHygiene(const FileInput& file, const std::vector<const Token*>& sig,
                         Reporter& rep) {
   if (!file.is_header) {
@@ -515,6 +614,7 @@ std::vector<Diagnostic> Linter::Lint(const FileInput& file,
   CheckUnorderedDecl(sig, rep);
   CheckChaosRng(sig, rep);
   CheckKeyTypes(sig, rep);
+  CheckRecorderPod(file, sig, rep);
   CheckHeaderHygiene(file, sig, rep);
   std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
     return std::tie(a.line, a.col, a.rule) < std::tie(b.line, b.col, b.rule);

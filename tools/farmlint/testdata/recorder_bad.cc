@@ -1,0 +1,23 @@
+// Fixture: recorder-pod must flag non-POD members of *Record structs in a
+// file that uses the flight recorder.
+#include "src/obs/flight_recorder.h"
+
+struct DebugRecord {
+  const char* label = nullptr;  // hit: pointer member
+  unsigned long long time_ns = 0;
+};
+
+struct OwningRecord {
+  std::string note;       // hit: owning container member
+  std::vector<int> path;  // hit: owning container member
+};
+
+struct VirtualRecord {
+  virtual ~VirtualRecord() {}  // hit: virtual member
+  int x = 0;
+};
+
+// Not named *Record: pointers are unrestricted here.
+struct RingCursor {
+  const DebugRecord* at = nullptr;
+};

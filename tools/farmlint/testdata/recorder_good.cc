@@ -1,0 +1,22 @@
+// Fixture: flat scalar *Record structs (and methods taking pointers) are
+// fine under recorder-pod.
+#include "src/obs/flight_recorder.h"
+
+struct WireRecord {
+  static constexpr unsigned kHasTx = 1 << 0;
+
+  unsigned long long time_ns = 0;
+  unsigned int detail = 0;
+  unsigned short flags = 0;
+  unsigned char kind = 0;
+
+  bool HasTx() const { return (flags & kHasTx) != 0; }
+};
+
+// Pointers outside *Record structs are unrestricted.
+struct RingView {
+  const WireRecord* data = nullptr;
+  unsigned long long count = 0;
+};
+
+int Use(const WireRecord& r) { return static_cast<int>(r.kind); }

@@ -1,0 +1,127 @@
+// txdump: reconstruct one transaction's cross-machine timeline from a
+// flight-recorder postmortem.
+//
+//   txdump <postmortem-file> <txid>
+//
+// The postmortem is what chaos_repro dumps as chaos-seed-N.postmortem (or
+// what --flight-out= appends after a run); the txid is either the logged
+// form "tx<c,m,t,l>" or the bare "c,m,t,l". Prints the transaction's records
+// in causal (time, machine, seq) order with per-record deltas, then a
+// per-machine summary. Exits 1 when the postmortem has no record of the tx.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/flight_recorder.h"
+
+namespace {
+
+using farm::flight::DrainedRecord;
+using farm::flight::FormatRecord;
+using farm::flight::ParseRecordLine;
+using farm::flight::Record;
+
+// Accepts "tx<c,m,t,l>" (the logged form) or bare "c,m,t,l".
+bool ParseTxId(const std::string& text, uint64_t* config, uint32_t* machine,
+               uint32_t* thread, uint64_t* local) {
+  std::string body = text;
+  if (body.rfind("tx<", 0) == 0 && body.size() > 4 && body.back() == '>') {
+    body = body.substr(3, body.size() - 4);
+  }
+  unsigned long long c = 0;
+  unsigned long long l = 0;
+  unsigned m = 0;
+  unsigned t = 0;
+  char tail = 0;
+  if (std::sscanf(body.c_str(), "%llu,%u,%u,%llu%c", &c, &m, &t, &l, &tail) != 4) {
+    return false;
+  }
+  *config = c;
+  *machine = m;
+  *thread = t;
+  *local = l;
+  return true;
+}
+
+bool Matches(const Record& r, uint64_t config, uint32_t machine, uint32_t thread,
+             uint64_t local) {
+  return (r.flags & Record::kHasTx) != 0 &&
+         r.tx_config == static_cast<uint32_t>(config) && r.tx_machine == machine &&
+         r.tx_thread == thread && r.tx_local == local;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: txdump <postmortem-file> <txid>\n");
+    std::fprintf(stderr, "  txid: tx<c,m,t,l> or c,m,t,l\n");
+    return 2;
+  }
+  uint64_t config = 0;
+  uint64_t local = 0;
+  uint32_t machine = 0;
+  uint32_t thread = 0;
+  if (!ParseTxId(argv[2], &config, &machine, &thread, &local)) {
+    std::fprintf(stderr, "txdump: cannot parse txid '%s'\n", argv[2]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "txdump: cannot open %s\n", argv[1]);
+    return 2;
+  }
+
+  std::vector<DrainedRecord> hits;
+  std::map<uint32_t, int> per_machine;
+  std::string line;
+  while (std::getline(in, line)) {
+    DrainedRecord dr;
+    if (!ParseRecordLine(line, &dr)) {
+      continue;  // header / ring-summary lines
+    }
+    if (Matches(dr.rec, config, machine, thread, local)) {
+      hits.push_back(dr);
+      per_machine[dr.machine]++;
+    }
+  }
+
+  if (hits.empty()) {
+    std::fprintf(stderr, "txdump: no records for tx<%" PRIu64 ",%u,%u,%" PRIu64 "> in %s\n",
+                 config, machine, thread, local, argv[1]);
+    return 1;
+  }
+
+  // Postmortems are already merge-sorted, but be robust to concatenated
+  // sections from --flight-out= appends.
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const DrainedRecord& a, const DrainedRecord& b) {
+                     if (a.rec.time_ns != b.rec.time_ns) {
+                       return a.rec.time_ns < b.rec.time_ns;
+                     }
+                     if (a.machine != b.machine) {
+                       return a.machine < b.machine;
+                     }
+                     return a.seq < b.seq;
+                   });
+
+  std::printf("tx<%" PRIu64 ",%u,%u,%" PRIu64 ">: %zu records across %zu machines\n",
+              config, machine, thread, local, hits.size(), per_machine.size());
+  uint64_t prev = hits.front().rec.time_ns;
+  for (const DrainedRecord& dr : hits) {
+    std::printf("  +%8" PRIu64 "ns  %s\n", dr.rec.time_ns - prev, FormatRecord(dr).c_str());
+    prev = dr.rec.time_ns;
+  }
+  std::printf("machines:");
+  for (const auto& [m, n] : per_machine) {
+    std::printf(" m%u(%d)", m, n);
+  }
+  std::printf("\n");
+  return 0;
+}
