@@ -248,12 +248,17 @@ Task<StatusOr<Node::RegionRef>> Node::ResolveRef(RegionId region, int thread) {
   if (p == nullptr) {
     co_return NotFoundStatus("unknown region");
   }
+  // `p` points into config_.regions; a reconfiguration during any await below
+  // reassigns config_ and frees it. Copy what we need so the pointer is dead
+  // before the first suspension point.
+  const MachineId primary = p->primary;
+  const ConfigId last_primary_change = p->last_primary_change;
   auto it = ref_cache_.find(region);
-  if (it != ref_cache_.end() && it->second.primary == p->primary &&
-      it->second.as_of >= p->last_primary_change) {
+  if (it != ref_cache_.end() && it->second.primary == primary &&
+      it->second.as_of >= last_primary_change) {
     co_return it->second;
   }
-  if (p->primary == id()) {
+  if (primary == id()) {
     // Local references are blocked while the region recovers locks
     // (section 5.3 step 1).
     for (;;) {
@@ -270,12 +275,9 @@ Task<StatusOr<Node::RegionRef>> Node::ResolveRef(RegionId region, int thread) {
     ref_cache_[region] = ref;
     co_return ref;
   }
-  if (!InConfig(p->primary)) {
+  if (!InConfig(primary)) {
     co_return UnavailableStatus("primary not in configuration");
   }
-  // `p` points into config_.regions; a reconfiguration during the request
-  // below reassigns config_ and frees it. Copy what outlives the await.
-  MachineId primary = p->primary;
   BufWriter w;
   w.PutU32(region);
   auto reply =
@@ -295,7 +297,10 @@ Task<StatusOr<RegionAllocator::Slot>> Node::AllocSlot(RegionId region, uint32_t 
   if (p == nullptr) {
     co_return NotFoundStatus("unknown region");
   }
-  if (p->primary == id()) {
+  // Same pattern as ResolveRef: copy the primary so `p` is dead before the
+  // awaits below can outlive the configuration it points into.
+  const MachineId primary = p->primary;
+  if (primary == id()) {
     RegionAllocator* alloc = allocator(region);
     if (alloc == nullptr) {
       co_return Status(StatusCode::kInvalidArgument, "region is app-managed");
@@ -311,7 +316,7 @@ Task<StatusOr<RegionAllocator::Slot>> Node::AllocSlot(RegionId region, uint32_t 
   w.PutU32(region);
   w.PutU32(payload_size);
   auto reply =
-      co_await Request(p->primary, MsgType::kAllocRequest, w.Take(), thread, 50 * kMillisecond);
+      co_await Request(primary, MsgType::kAllocRequest, w.Take(), thread, 50 * kMillisecond);
   if (!reply.ok()) {
     co_return reply.status();
   }

@@ -419,6 +419,13 @@ Detached Node::FinishLockRecovery(RegionId region) {
     }
   }
 
+  // The fetch loop above suspended, so `rit` may have been invalidated by a
+  // concurrent reconfiguration erasing the recovery state. Re-resolve it.
+  rit = region_recovery_.find(region);
+  if (rit == region_recovery_.end()) {
+    co_return;
+  }
+
   // Lock recovery: lock every object modified by a recovering transaction.
   RegionReplica* rep = replica(region);
   if (rep == nullptr) {

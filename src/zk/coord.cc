@@ -124,6 +124,8 @@ void CoordinationService::HandleRpc(size_t replica_idx, MachineId from,
 }
 
 Detached CoordinationService::SyncAndServe(size_t replica_idx, std::function<void()> then) {
+  // farmlint: allow(await-hazard): state_ is sized once at construction and
+  // never resized, so references into it survive every suspension here.
   Replica& rep = state_[replica_idx];
   size_t total = replicas_.size();
   size_t majority = total / 2 + 1;
@@ -203,6 +205,8 @@ void CoordinationService::PumpPending(size_t replica_idx) {
 
 Detached CoordinationService::RunCas(size_t replica_idx, uint64_t expected_version,
                                      std::vector<uint8_t> value, Fabric::ReplyFn reply) {
+  // farmlint: allow(await-hazard): state_ is sized once at construction and
+  // never resized, so references into it survive every suspension here.
   Replica& rep = state_[replica_idx];
   if (!rep.synced || rep.value.version != expected_version) {
     BufWriter w;

@@ -1,0 +1,76 @@
+// Scope/flow-aware analysis pass for coroutine suspension safety.
+//
+// Layered on the lexer (not a full C++ front end): a lightweight
+// declaration-and-statement parser builds a scope tree per file, tracks
+// local variable declarations with their provenance (the expression that
+// initialized them), and records every `co_await` suspension point. Three
+// rule families run on top:
+//
+//   await-hazard        a raw pointer, reference, or iterator derived from a
+//                       non-owning "unstable accessor" (Placement(), map
+//                       find()/at()/operator[], begin()/end(), &c[i]) is
+//                       still live across a later co_await. Reconfiguration
+//                       or a concurrent coroutine may free/move the referent
+//                       between suspension and resume; re-resolve after the
+//                       await or mark the accessor `// farmlint: stable`.
+//   lock-across-await   an RAII lock guard is live across a suspension
+//                       point: the lock is held while the coroutine is
+//                       parked, which deadlocks or serializes the simulator.
+//   iterator-invalidate a container is mutated while an iterator/reference
+//                       into it is live in the same scope and used again
+//                       afterwards (no co_await required).
+//
+// A variable is "live across" an await when its declaration precedes the
+// await and it is used again after it (for guards: when its scope simply
+// extends past the await -- the destructor is the use). Calls on container
+// locals *owned by the coroutine frame* (declared by value in the same
+// function) are exempt from await-hazard: the frame keeps them alive across
+// suspension, and same-scope mutation is iterator-invalidate's job.
+#ifndef TOOLS_FARMLINT_ANALYZER_H_
+#define TOOLS_FARMLINT_ANALYZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "tools/farmlint/diag.h"
+#include "tools/farmlint/lexer.h"
+
+namespace farmlint {
+
+// What an unstable accessor yields. Pointer/iterator results are hazardous
+// even through plain `auto` (the deduced type is the pointer/iterator);
+// reference results are only hazardous when bound to a reference/pointer
+// declarator (`auto` makes a value copy, which is safe).
+enum class Yield {
+  kPointer,
+  kIterator,
+  kReference,
+};
+
+struct AwaitConfig {
+  // Accessor name -> yield kind. Seeded by DefaultAwaitConfig(); extended
+  // per-directory with `.farmlint` lines `unstable <name> <yield>` and
+  // trimmed with `stable <name>`.
+  std::map<std::string, Yield> unstable;
+  // RAII lock guard type names (last identifier of the declared type).
+  std::set<std::string> guards;
+};
+
+AwaitConfig DefaultAwaitConfig();
+
+// Runs the await-safety rules over one file. `stable_names` is the
+// cross-file annotation index: accessor names whose declarations carry a
+// `// farmlint: stable` comment anywhere in the input set.
+void AnalyzeAwaitSafety(const FileInput& file, const AwaitConfig& config,
+                        const std::set<std::string>& stable_names, Reporter& rep);
+
+// Scans one file for `farmlint: stable` annotations and returns the accessor
+// names they bind to (the declaration on the comment's line or the next code
+// line). Unbindable annotations are reported via `rep` as `bad-allow` when a
+// Reporter is supplied (pass nullptr during the collection pass).
+std::set<std::string> CollectStableAnnotations(const FileInput& file, Reporter* rep);
+
+}  // namespace farmlint
+
+#endif  // TOOLS_FARMLINT_ANALYZER_H_

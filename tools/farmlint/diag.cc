@@ -1,0 +1,100 @@
+#include "tools/farmlint/diag.h"
+
+namespace farmlint {
+
+std::string Diagnostic::ToString() const {
+  return file + ":" + std::to_string(line) + ":" + std::to_string(col) + ": error: [" +
+         rule + "] " + message;
+}
+
+std::vector<const Token*> Significant(const std::vector<Token>& tokens) {
+  std::vector<const Token*> sig;
+  sig.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    if (t.kind != TokKind::kComment && t.kind != TokKind::kEof) {
+      sig.push_back(&t);
+    }
+  }
+  return sig;
+}
+
+std::vector<AllowName> ParseAllowNames(const std::vector<Token>& tokens) {
+  std::vector<AllowName> names;
+  for (const Token& t : tokens) {
+    if (t.kind != TokKind::kComment) {
+      continue;
+    }
+    // Directive form only: after the comment markers, a line must START with
+    // `farmlint: allow(`. Mid-line mentions (documentation quoting the
+    // syntax) are neither suppressions nor hygiene errors.
+    std::string_view text = t.text;
+    int offset = 0;
+    while (!text.empty()) {
+      size_t nl = text.find('\n');
+      std::string_view line = text.substr(0, nl);
+      while (!line.empty() &&
+             (line.front() == ' ' || line.front() == '\t' || line.front() == '/' ||
+              line.front() == '*')) {
+        line.remove_prefix(1);
+      }
+      constexpr std::string_view kDirective = "farmlint: allow(";
+      if (line.substr(0, kDirective.size()) == kDirective) {
+        std::string_view list = line.substr(kDirective.size());
+        size_t end = list.find(')');
+        if (end != std::string_view::npos) {
+          list = list.substr(0, end);
+          size_t i = 0;
+          while (i <= list.size()) {
+            size_t j = list.find(',', i);
+            if (j == std::string_view::npos) {
+              j = list.size();
+            }
+            std::string_view name = list.substr(i, j - i);
+            while (!name.empty() && name.front() == ' ') {
+              name.remove_prefix(1);
+            }
+            while (!name.empty() && name.back() == ' ') {
+              name.remove_suffix(1);
+            }
+            if (!name.empty()) {
+              names.push_back(AllowName{t.line + offset, t.col, std::string(name)});
+            }
+            i = j + 1;
+          }
+        }
+      }
+      if (nl == std::string_view::npos) {
+        break;
+      }
+      text.remove_prefix(nl + 1);
+      offset++;
+    }
+  }
+  return names;
+}
+
+AllowMap ParseAllows(const std::vector<Token>& tokens) {
+  std::set<int> code_lines;
+  for (const Token& t : tokens) {
+    if (t.kind != TokKind::kComment && t.kind != TokKind::kEof) {
+      code_lines.insert(t.line);
+    }
+  }
+  AllowMap allows;
+  for (const AllowName& a : ParseAllowNames(tokens)) {
+    // An allow covers its own line (trailing-comment form) and extends
+    // forward over comment-only/blank lines to the first line that has code
+    // (preceding-comment form, including multi-line justifications).
+    allows[a.line].insert(a.rule);
+    constexpr int kMaxReach = 8;  // give up on huge comment blocks
+    for (int l = a.line + 1; l <= a.line + kMaxReach; ++l) {
+      allows[l].insert(a.rule);
+      if (code_lines.count(l) != 0) {
+        break;
+      }
+    }
+  }
+  return allows;
+}
+
+}  // namespace farmlint

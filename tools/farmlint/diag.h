@@ -1,0 +1,88 @@
+// Shared diagnostic machinery for farmlint passes: token matching helpers,
+// `farmlint: allow(...)` suppression parsing, and the Reporter that filters
+// and accumulates diagnostics. Split out of rules.cc so the token-stream
+// rules (rules.cc) and the scope-aware analyzer (analyzer.cc) report through
+// one suppression path.
+#ifndef TOOLS_FARMLINT_DIAG_H_
+#define TOOLS_FARMLINT_DIAG_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/farmlint/lexer.h"
+
+namespace farmlint {
+
+struct Diagnostic {
+  std::string file;  // as given to the driver (repo-relative in CI)
+  int line = 0;
+  int col = 0;
+  std::string rule;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+// Significant tokens: everything except comments. Rules index into this.
+std::vector<const Token*> Significant(const std::vector<Token>& tokens);
+
+inline bool IsIdent(const Token* t, std::string_view text) {
+  return t->kind == TokKind::kIdentifier && t->text == text;
+}
+inline bool IsPunct(const Token* t, std::string_view text) {
+  return t->kind == TokKind::kPunct && t->text == text;
+}
+
+// One rule name appearing inside a `farmlint: allow(...)` comment, with the
+// position of the comment (for validating unknown rule names).
+struct AllowName {
+  int line = 0;
+  int col = 0;
+  std::string rule;
+};
+
+// Extracts every rule name from every allow comment, in file order.
+std::vector<AllowName> ParseAllowNames(const std::vector<Token>& tokens);
+
+// line -> rules allowed on that line. An allow comment covers its own line
+// (trailing-comment form) and extends forward over comment-only/blank lines
+// to the first line that has code (preceding-comment form, including
+// multi-line justification comments).
+using AllowMap = std::map<int, std::set<std::string>>;
+
+AllowMap ParseAllows(const std::vector<Token>& tokens);
+
+struct FileInput;  // rules.h
+
+class Reporter {
+ public:
+  Reporter(const std::string& path, const std::vector<Token>& tokens,
+           const std::set<std::string>& enabled, std::vector<Diagnostic>& out)
+      : path_(path), enabled_(enabled), allows_(ParseAllows(tokens)), out_(out) {}
+
+  bool RuleEnabled(const std::string& rule) const { return enabled_.count(rule) != 0; }
+
+  void Report(const std::string& rule, int line, int col, std::string message) {
+    if (!RuleEnabled(rule)) {
+      return;
+    }
+    auto it = allows_.find(line);
+    if (it != allows_.end() && it->second.count(rule) != 0) {
+      return;
+    }
+    out_.push_back(Diagnostic{path_, line, col, rule, std::move(message)});
+  }
+
+ private:
+  const std::string& path_;
+  const std::set<std::string>& enabled_;
+  AllowMap allows_;
+  std::vector<Diagnostic>& out_;
+};
+
+}  // namespace farmlint
+
+#endif  // TOOLS_FARMLINT_DIAG_H_

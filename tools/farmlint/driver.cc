@@ -14,16 +14,25 @@ bool IsSourceFile(const fs::path& p) {
   return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" || ext == ".cxx";
 }
 
+bool IsHeaderFile(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp";
+}
+
 bool IsSkippedDir(const fs::path& p) {
   std::string name = p.filename().string();
   return name.empty() || name[0] == '.' || name == "build" || name == "testdata" ||
          name == "third_party";
 }
 
-// Applies one `.farmlint` file to the rule set. Unknown rule names are
+// Applies one `.farmlint` file to the config. Unknown rule names are
 // ignored (forward compatibility with configs written for newer farmlints).
-void ApplyConfig(const fs::path& config, std::set<std::string>* enabled) {
-  std::ifstream in(config);
+// Besides `enable <rule>` / `disable <rule>`, the await-safety lists are
+// tunable: `unstable <accessor> [pointer|iterator|reference]` adds an
+// accessor, `stable <accessor>` removes one, `guard <Type>` adds an RAII
+// guard type.
+void ApplyConfig(const fs::path& config_path, FileConfig* config) {
+  std::ifstream in(config_path);
   if (!in) {
     return;
   }
@@ -31,17 +40,58 @@ void ApplyConfig(const fs::path& config, std::set<std::string>* enabled) {
   while (std::getline(in, line)) {
     std::istringstream ls(line);
     std::string verb;
-    std::string rule;
+    std::string arg;
     if (!(ls >> verb) || verb[0] == '#') {
       continue;
     }
-    ls >> rule;
-    if (verb == "enable" && IsKnownRule(rule)) {
-      enabled->insert(rule);
-    } else if (verb == "disable" && IsKnownRule(rule)) {
-      enabled->erase(rule);
+    ls >> arg;
+    if (verb == "enable" && IsKnownRule(arg)) {
+      config->rules.insert(arg);
+    } else if (verb == "disable" && IsKnownRule(arg)) {
+      config->rules.erase(arg);
+    } else if (verb == "unstable" && !arg.empty()) {
+      std::string yield;
+      ls >> yield;
+      Yield y = Yield::kPointer;
+      if (yield == "iterator") {
+        y = Yield::kIterator;
+      } else if (yield == "reference") {
+        y = Yield::kReference;
+      }
+      config->await.unstable[arg] = y;
+    } else if (verb == "stable" && !arg.empty()) {
+      config->await.unstable.erase(arg);
+    } else if (verb == "guard" && !arg.empty()) {
+      config->await.guards.insert(arg);
     }
   }
+}
+
+// Minimal JSON string scanner for compile_commands.json: finds `"key"`
+// occurrences and decodes the quoted value that follows the colon. Good
+// enough for CMake's escaping (\\ and \" in paths).
+bool NextJsonString(const std::string& text, size_t* pos, std::string* out) {
+  size_t q = text.find('"', *pos);
+  if (q == std::string::npos) {
+    return false;
+  }
+  std::string value;
+  size_t i = q + 1;
+  while (i < text.size() && text[i] != '"') {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      value += text[i + 1];
+      i += 2;
+    } else {
+      value += text[i];
+      i += 1;
+    }
+  }
+  if (i >= text.size()) {
+    return false;
+  }
+  *pos = i + 1;
+  *out = std::move(value);
+  return true;
 }
 
 }  // namespace
@@ -73,13 +123,92 @@ std::vector<std::string> DiscoverFiles(const std::vector<std::string>& paths) {
   return files;
 }
 
-std::set<std::string> ResolveEnabledRules(const std::string& root, const std::string& file) {
-  std::set<std::string> enabled;
-  for (const RuleInfo& r : AllRules()) {
-    if (r.default_on) {
-      enabled.insert(r.name);
+bool FilesFromCompDb(const std::string& compdb_path, const std::string& root,
+                     std::vector<std::string>* out, std::string* error) {
+  std::ifstream in(compdb_path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read compilation database " + compdb_path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+
+  fs::path abs_root = fs::absolute(root).lexically_normal();
+  std::string root_prefix = abs_root.generic_string();
+  if (root_prefix.empty() || root_prefix.back() != '/') {
+    root_prefix += '/';
+  }
+
+  // Split the array into entry objects (brace depth, string-aware), then
+  // pull `directory` and `file` out of each (key order is not guaranteed).
+  size_t entries = 0;
+  int depth = 0;
+  bool in_string = false;
+  size_t entry_begin = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        i++;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (++depth == 1) {
+        entry_begin = i;
+      }
+    } else if (c == '}' && depth > 0 && --depth == 0) {
+      std::string entry = text.substr(entry_begin, i - entry_begin);
+      entries++;
+      std::string directory;
+      std::string file;
+      size_t pos = 0;
+      std::string token;
+      while (NextJsonString(entry, &pos, &token)) {
+        std::string value;
+        if ((token == "directory" || token == "file") &&
+            NextJsonString(entry, &pos, &value)) {
+          (token == "directory" ? directory : file) = value;
+        }
+      }
+      if (file.empty()) {
+        continue;
+      }
+      fs::path p(file);
+      if (p.is_relative() && !directory.empty()) {
+        p = fs::path(directory) / p;
+      }
+      p = fs::absolute(p).lexically_normal();
+      std::string norm = p.generic_string();
+      std::error_code ec;
+      if (IsSourceFile(p) && norm.compare(0, root_prefix.size(), root_prefix) == 0 &&
+          fs::is_regular_file(p, ec)) {
+        out->push_back(norm);
+      }
     }
   }
+  if (entries == 0) {
+    *error = "compilation database " + compdb_path + " contains no entries";
+    return false;
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return true;
+}
+
+FileConfig ResolveFileConfig(const std::string& root, const std::string& file) {
+  FileConfig config;
+  for (const RuleInfo& r : AllRules()) {
+    if (r.default_on) {
+      config.rules.insert(r.name);
+    }
+  }
+  config.await = DefaultAwaitConfig();
   // Collect the directory chain root -> file's directory. If the file is not
   // under root, only its own directory's config applies.
   fs::path abs_root = fs::absolute(root).lexically_normal();
@@ -96,9 +225,9 @@ std::set<std::string> ResolveEnabledRules(const std::string& root, const std::st
     chain = {dir};
   }
   for (const fs::path& d : chain) {
-    ApplyConfig(d / ".farmlint", &enabled);
+    ApplyConfig(d / ".farmlint", &config);
   }
-  return enabled;
+  return config;
 }
 
 bool LoadFile(const std::string& path, FileInput* out) {
@@ -119,23 +248,60 @@ bool LoadFile(const std::string& path, FileInput* out) {
 }
 
 int RunFarmlint(const DriverOptions& options, std::ostream& out) {
-  std::vector<std::string> files = DiscoverFiles(options.paths);
+  std::vector<std::string> files;
+  if (!options.compdb.empty()) {
+    std::string error;
+    if (!FilesFromCompDb(options.compdb, options.root, &files, &error)) {
+      out << options.compdb << ":1:1: error: [driver] " << error << "\n";
+      return 1;
+    }
+    // The database lists translation units only; headers still come from
+    // the directory walk.
+    for (const std::string& f : DiscoverFiles(options.paths)) {
+      if (IsHeaderFile(fs::path(f))) {
+        files.push_back(fs::absolute(fs::path(f)).lexically_normal().generic_string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    // Prefer repo-relative display paths when everything is under root.
+    fs::path abs_root = fs::absolute(options.root).lexically_normal();
+    for (std::string& f : files) {
+      std::string rel = fs::path(f).lexically_relative(abs_root).generic_string();
+      if (!rel.empty() && rel.compare(0, 2, "..") != 0) {
+        f = rel;
+      }
+    }
+    std::sort(files.begin(), files.end());
+  } else {
+    files = DiscoverFiles(options.paths);
+  }
   std::vector<FileInput> inputs;
   inputs.reserve(files.size());
   Linter linter;
+  int count = 0;
   for (const std::string& f : files) {
     FileInput input;
-    if (!LoadFile(f, &input)) {
+    fs::path load_path = fs::path(f);
+    if (load_path.is_relative() && !fs::exists(load_path)) {
+      load_path = fs::path(options.root) / load_path;
+    }
+    if (!LoadFile(load_path.generic_string(), &input)) {
       out << f << ":1:1: error: [driver] cannot read file\n";
+      count++;
       continue;
     }
+    input.path = f;
     linter.CollectDeclarations(input);
     inputs.push_back(std::move(input));
   }
-  int count = 0;
   for (const FileInput& input : inputs) {
-    std::set<std::string> enabled = ResolveEnabledRules(options.root, input.path);
-    for (const Diagnostic& d : linter.Lint(input, enabled)) {
+    fs::path resolve_path = fs::path(input.path);
+    if (resolve_path.is_relative() && !fs::exists(resolve_path)) {
+      resolve_path = fs::path(options.root) / resolve_path;
+    }
+    FileConfig config = ResolveFileConfig(options.root, resolve_path.generic_string());
+    for (const Diagnostic& d : linter.Lint(input, config)) {
       out << d.ToString() << "\n";
       count++;
     }

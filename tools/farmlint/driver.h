@@ -1,5 +1,6 @@
-// farmlint driver: file discovery, per-directory `.farmlint` config
-// resolution, and the two-pass lint run (collect declarations, then lint).
+// farmlint driver: file discovery (directory glob or compile_commands.json),
+// per-directory `.farmlint` config resolution, and the two-pass lint run
+// (collect declarations/annotations, then lint).
 #ifndef TOOLS_FARMLINT_DRIVER_H_
 #define TOOLS_FARMLINT_DRIVER_H_
 
@@ -18,15 +19,27 @@ struct DriverOptions {
   std::string root = ".";
   // Files or directories (searched recursively for C++ sources).
   std::vector<std::string> paths;
+  // Optional path to a compile_commands.json. When set, the translation-unit
+  // list comes from the build graph (every compiled TU under `root` is
+  // linted, so generated or newly added TUs cannot escape), and `paths` is
+  // only globbed for headers, which a compilation database does not list.
+  std::string compdb;
 };
 
 // Expands `paths` into the list of lintable files (sorted, deduplicated).
 std::vector<std::string> DiscoverFiles(const std::vector<std::string>& paths);
 
-// Effective rule set for `file`: rule defaults, then `enable`/`disable`
-// lines from every `.farmlint` between `root` and the file's directory,
-// applied outermost first.
-std::set<std::string> ResolveEnabledRules(const std::string& root, const std::string& file);
+// Parses a compile_commands.json and returns the normalized "file" entries
+// that exist on disk and lie under `root`. Returns false (and sets *error)
+// if the database cannot be read or contains no entries.
+bool FilesFromCompDb(const std::string& compdb_path, const std::string& root,
+                     std::vector<std::string>* out, std::string* error);
+
+// Effective configuration for `file`: rule defaults and the await-safety
+// accessor/guard lists, overlaid with `enable`/`disable`/`unstable`/`stable`/
+// `guard` lines from every `.farmlint` between `root` and the file's
+// directory, applied outermost first.
+FileConfig ResolveFileConfig(const std::string& root, const std::string& file);
 
 // Reads and tokenizes one file. Returns false if unreadable.
 bool LoadFile(const std::string& path, FileInput* out);

@@ -2,6 +2,7 @@
 // that must (or must not) trigger specific rules.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -19,20 +20,21 @@ std::string Testdata(const std::string& name) {
   return std::string(FARMLINT_TESTDATA) + "/" + name;
 }
 
-std::set<std::string> DefaultRules() {
-  std::set<std::string> enabled;
+FileConfig DefaultRules() {
+  FileConfig config;
   for (const RuleInfo& r : AllRules()) {
     if (r.default_on) {
-      enabled.insert(r.name);
+      config.rules.insert(r.name);
     }
   }
-  return enabled;
+  config.await = DefaultAwaitConfig();
+  return config;
 }
 
 // Lints one fixture (collecting declarations from `extra_decl_files` first)
 // and returns rule -> count.
 std::map<std::string, int> LintFixture(const std::string& name,
-                                       const std::set<std::string>& enabled,
+                                       const FileConfig& config,
                                        const std::vector<std::string>& extra_decl_files = {}) {
   Linter linter;
   std::vector<FileInput> inputs;
@@ -45,7 +47,7 @@ std::map<std::string, int> LintFixture(const std::string& name,
   EXPECT_TRUE(LoadFile(Testdata(name), &target)) << name;
   linter.CollectDeclarations(target);
   std::map<std::string, int> hits;
-  for (const Diagnostic& d : linter.Lint(target, enabled)) {
+  for (const Diagnostic& d : linter.Lint(target, config)) {
     hits[d.rule]++;
   }
   return hits;
@@ -204,11 +206,65 @@ TEST(RuleFixtureTest, RecorderPodAllowsFlatRecords) {
 }
 
 TEST(RuleFixtureTest, ChaosRngFlagsLiteralSeeds) {
-  std::set<std::string> enabled = DefaultRules();
-  enabled.insert("chaos-rng");
-  auto hits = LintFixture("chaosdir/plan_rng.cc", enabled);
+  FileConfig config = DefaultRules();
+  config.rules.insert("chaos-rng");
+  auto hits = LintFixture("chaosdir/plan_rng.cc", config);
   EXPECT_EQ(hits["chaos-rng"], 2);
   EXPECT_EQ(hits.size(), 1u) << "plan-derived seeds must not fire";
+}
+
+// ---------------------------------------------------------------------------
+// Await-safety rules (scope/flow-aware analyzer)
+// ---------------------------------------------------------------------------
+
+TEST(AwaitRuleTest, AwaitHazardTriple) {
+  auto bad = LintFixture("await_hazard_bad.cc", DefaultRules());
+  EXPECT_GE(bad["await-hazard"], 4) << "pointer, iterator, reference, subscript";
+  EXPECT_EQ(bad.size(), 1u) << "only await-hazard may fire";
+  EXPECT_TRUE(LintFixture("await_hazard_good.cc", DefaultRules()).empty());
+  EXPECT_TRUE(LintFixture("await_hazard_suppressed.cc", DefaultRules()).empty());
+}
+
+TEST(AwaitRuleTest, ResolveRefPatternIsCaught) {
+  // The exact shape of the PR 4 use-after-free in Node::ResolveRef: a
+  // RegionPlacement* from config_.Placement() held across co_await while
+  // reconfiguration frees the old config.
+  auto hits = LintFixture("resolve_ref_uaf.cc", DefaultRules());
+  EXPECT_GE(hits["await-hazard"], 1);
+}
+
+TEST(AwaitRuleTest, LockAcrossAwaitTriple) {
+  auto bad = LintFixture("lock_await_bad.cc", DefaultRules());
+  EXPECT_GE(bad["lock-across-await"], 2);
+  EXPECT_EQ(bad.size(), 1u) << "only lock-across-await may fire";
+  EXPECT_TRUE(LintFixture("lock_await_good.cc", DefaultRules()).empty());
+  EXPECT_TRUE(LintFixture("lock_await_suppressed.cc", DefaultRules()).empty());
+}
+
+TEST(AwaitRuleTest, IteratorInvalidateTriple) {
+  auto bad = LintFixture("iter_invalidate_bad.cc", DefaultRules());
+  EXPECT_GE(bad["iterator-invalidate"], 2);
+  EXPECT_EQ(bad.size(), 1u) << "only iterator-invalidate may fire";
+  EXPECT_TRUE(LintFixture("iter_invalidate_good.cc", DefaultRules()).empty());
+  EXPECT_TRUE(LintFixture("iter_invalidate_suppressed.cc", DefaultRules()).empty());
+}
+
+TEST(AwaitRuleTest, StableAnnotationInHeaderExemptsCallers) {
+  // stable_accessor.h marks IndexOf() with `// farmlint: stable`; the .cc
+  // holds its result across an await, which must then be clean.
+  EXPECT_TRUE(
+      LintFixture("stable_user.cc", DefaultRules(), {"stable_accessor.h"}).empty());
+}
+
+TEST(AwaitRuleTest, BadAllowNamesUnknownRule) {
+  auto hits = LintFixture("bad_allow.cc", DefaultRules());
+  EXPECT_EQ(hits["bad-allow"], 2) << "unknown rule in allow() + unbindable stable";
+}
+
+TEST(AwaitRuleTest, DiagnosticsAreDeduplicated) {
+  // dup_diag.cc provokes the same (line, rule) twice; only one report.
+  auto hits = LintFixture("dup_diag.cc", DefaultRules());
+  EXPECT_EQ(hits["await-hazard"], 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -216,11 +272,11 @@ TEST(RuleFixtureTest, ChaosRngFlagsLiteralSeeds) {
 // ---------------------------------------------------------------------------
 
 TEST(DriverTest, ConfigDirTogglesRules) {
-  std::set<std::string> enabled =
-      ResolveEnabledRules(FARMLINT_TESTDATA, Testdata("configdir/decl_only.cc"));
-  EXPECT_EQ(enabled.count("unordered-decl"), 1u);
-  EXPECT_EQ(enabled.count("ptr-key"), 0u);
-  EXPECT_EQ(enabled.count("wall-clock"), 1u);
+  FileConfig config =
+      ResolveFileConfig(FARMLINT_TESTDATA, Testdata("configdir/decl_only.cc"));
+  EXPECT_EQ(config.rules.count("unordered-decl"), 1u);
+  EXPECT_EQ(config.rules.count("ptr-key"), 0u);
+  EXPECT_EQ(config.rules.count("wall-clock"), 1u);
 
   DriverOptions options;
   options.root = FARMLINT_TESTDATA;
@@ -238,9 +294,9 @@ TEST(DriverTest, DiscoverSkipsNonSource) {
 }
 
 TEST(DriverTest, ChaosDirEnablesChaosRng) {
-  std::set<std::string> enabled =
-      ResolveEnabledRules(FARMLINT_TESTDATA, Testdata("chaosdir/plan_rng.cc"));
-  EXPECT_EQ(enabled.count("chaos-rng"), 1u);
+  FileConfig config =
+      ResolveFileConfig(FARMLINT_TESTDATA, Testdata("chaosdir/plan_rng.cc"));
+  EXPECT_EQ(config.rules.count("chaos-rng"), 1u);
 
   DriverOptions options;
   options.root = FARMLINT_TESTDATA;
@@ -257,6 +313,84 @@ TEST(DriverTest, KnownRuleNames) {
   EXPECT_FALSE(IsKnownRule("no-such-rule"));
   EXPECT_TRUE(IsKnownRule("chaos-rng"));
   EXPECT_TRUE(IsKnownRule("recorder-pod"));
+  EXPECT_TRUE(IsKnownRule("await-hazard"));
+  EXPECT_TRUE(IsKnownRule("lock-across-await"));
+  EXPECT_TRUE(IsKnownRule("iterator-invalidate"));
+  EXPECT_TRUE(IsKnownRule("bad-allow"));
+}
+
+TEST(DriverTest, AwaitConfigVerbs) {
+  // testdata/awaitdir/.farmlint: unstable RawSlot pointer, stable Placement,
+  // guard SpinGuard.
+  FileConfig config =
+      ResolveFileConfig(FARMLINT_TESTDATA, Testdata("awaitdir/custom.cc"));
+  ASSERT_EQ(config.await.unstable.count("RawSlot"), 1u);
+  EXPECT_EQ(config.await.unstable.at("RawSlot"), Yield::kPointer);
+  EXPECT_EQ(config.await.unstable.count("Placement"), 0u);
+  EXPECT_EQ(config.await.guards.count("SpinGuard"), 1u);
+
+  DriverOptions options;
+  options.root = FARMLINT_TESTDATA;
+  options.paths = {Testdata("awaitdir")};
+  std::ostringstream out;
+  int n = RunFarmlint(options, out);
+  EXPECT_EQ(n, 2) << out.str();
+  EXPECT_NE(out.str().find("await-hazard"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("lock-across-await"), std::string::npos) << out.str();
+}
+
+// Writes a compile_commands.json into the test's scratch directory. Entries
+// need absolute testdata paths, so the database is generated at runtime.
+std::string WriteCompDb() {
+  std::string path = ::testing::TempDir() + "farmlint_compile_commands.json";
+  std::ofstream db(path);
+  db << "[\n"
+     << "  {\n"
+     << "    \"directory\": \"" << Testdata("configdir") << "\",\n"
+     << "    \"command\": \"c++ -c decl_only.cc -o decl_only.o\",\n"
+     << "    \"file\": \"decl_only.cc\"\n"
+     << "  },\n"
+     << "  {\n"
+     << "    \"directory\": \"/\",\n"
+     << "    \"command\": \"c++ -c /nonexistent/outside_root.cc\",\n"
+     << "    \"file\": \"/nonexistent/outside_root.cc\"\n"
+     << "  },\n"
+     << "  {\n"
+     << "    \"directory\": \"" << FARMLINT_TESTDATA << "\",\n"
+     << "    \"command\": \"c++ -c deleted_since_configure.cc\",\n"
+     << "    \"file\": \"deleted_since_configure.cc\"\n"
+     << "  }\n"
+     << "]\n";
+  return path;
+}
+
+TEST(DriverTest, FilesFromCompDb) {
+  // The database lists configdir/decl_only.cc (relative to its "directory"
+  // entry), one file outside root, and one missing file; only the first
+  // survives.
+  std::vector<std::string> files;
+  std::string error;
+  ASSERT_TRUE(FilesFromCompDb(WriteCompDb(), FARMLINT_TESTDATA, &files, &error)) << error;
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_NE(files[0].find("decl_only.cc"), std::string::npos);
+
+  std::string empty_path = ::testing::TempDir() + "farmlint_empty_compdb.json";
+  std::ofstream(empty_path) << "[]\n";
+  std::vector<std::string> none;
+  EXPECT_FALSE(FilesFromCompDb(empty_path, FARMLINT_TESTDATA, &none, &error));
+  EXPECT_FALSE(FilesFromCompDb(Testdata("no_such_compdb.json"), FARMLINT_TESTDATA,
+                               &none, &error));
+}
+
+TEST(DriverTest, CompDbDrivesLintRun) {
+  DriverOptions options;
+  options.root = FARMLINT_TESTDATA;
+  options.compdb = WriteCompDb();
+  options.paths = {Testdata("configdir")};  // globbed for headers only (none)
+  std::ostringstream out;
+  int n = RunFarmlint(options, out);
+  EXPECT_EQ(n, 1) << out.str();
+  EXPECT_NE(out.str().find("unordered-decl"), std::string::npos) << out.str();
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
 // farmlint: determinism/protocol lint for this repository.
 //
-// Usage: farmlint [--root <dir>] [--list-rules] <file-or-dir>...
+// Usage: farmlint [--root <dir>] [--compdb <json>] [--list-rules] <file-or-dir>...
 //
 // Exit status: 0 when clean, 1 when any diagnostic fired, 2 on usage error.
 #include <cstring>
@@ -24,13 +24,26 @@ int main(int argc, char** argv) {
       options.root = argv[++i];
     } else if (arg.rfind("--root=", 0) == 0) {
       options.root = arg.substr(std::strlen("--root="));
+    } else if (arg == "--compdb") {
+      if (i + 1 >= argc) {
+        std::cerr << "farmlint: --compdb needs a compile_commands.json path\n";
+        return 2;
+      }
+      options.compdb = argv[++i];
+    } else if (arg.rfind("--compdb=", 0) == 0) {
+      options.compdb = arg.substr(std::strlen("--compdb="));
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: farmlint [--root <dir>] [--list-rules] <file-or-dir>...\n"
+      std::cout << "usage: farmlint [--root <dir>] [--compdb <json>] [--list-rules]"
+                << " <file-or-dir>...\n"
+                << "With --compdb, translation units come from the compilation\n"
+                << "database (every TU under --root) and the positional paths are\n"
+                << "only globbed for headers.\n"
                 << "Suppress a finding with: // farmlint: allow(<rule>): why\n"
                 << "Per-directory config: .farmlint files with `enable <rule>` /\n"
-                << "`disable <rule>` lines, applied from --root downward.\n";
+                << "`disable <rule>` / `unstable <accessor> [yield]` / `stable\n"
+                << "<accessor>` / `guard <Type>` lines, applied from --root downward.\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "farmlint: unknown flag " << arg << "\n";

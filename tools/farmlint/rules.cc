@@ -5,6 +5,9 @@
 #include <string_view>
 #include <tuple>
 
+#include "tools/farmlint/analyzer.h"
+#include "tools/farmlint/diag.h"
+
 namespace farmlint {
 namespace {
 
@@ -66,113 +69,20 @@ const std::vector<RuleInfo> kRules = {
     {"recorder-pod", true,
      "flight-recorder records (structs named *Record in files using "
      "src/obs/flight_recorder.h) must stay trivially copyable and pointer-free"},
+    {"await-hazard", true,
+     "pointer/reference/iterator from an unstable accessor (Placement(), map "
+     "find()/at()/operator[], begin()/end()) used across a co_await; "
+     "re-resolve after resume or mark the accessor '// farmlint: stable'"},
+    {"lock-across-await", true,
+     "RAII lock guard held across a co_await; the lock stays taken while the "
+     "coroutine is parked"},
+    {"iterator-invalidate", true,
+     "container mutated while an iterator/reference into it is live in the "
+     "same scope and used afterwards"},
+    {"bad-allow", true,
+     "suppression hygiene: allow(<rule>) naming an unknown rule, or a "
+     "'farmlint: stable' annotation that binds to no accessor declaration"},
 };
-
-// line -> rules allowed on that line. An allow comment covers its own line
-// (trailing-comment form) and extends forward over comment-only/blank lines
-// to the first line that has code (preceding-comment form, including
-// multi-line justification comments).
-using AllowMap = std::map<int, std::set<std::string>>;
-
-AllowMap ParseAllows(const std::vector<Token>& tokens) {
-  std::set<int> code_lines;
-  for (const Token& t : tokens) {
-    if (t.kind != TokKind::kComment && t.kind != TokKind::kEof) {
-      code_lines.insert(t.line);
-    }
-  }
-  AllowMap allows;
-  auto cover = [&](int comment_line, const std::string& rule) {
-    allows[comment_line].insert(rule);
-    constexpr int kMaxReach = 8;  // give up on huge comment blocks
-    for (int l = comment_line + 1; l <= comment_line + kMaxReach; ++l) {
-      allows[l].insert(rule);
-      if (code_lines.count(l) != 0) {
-        break;
-      }
-    }
-  };
-  for (const Token& t : tokens) {
-    if (t.kind != TokKind::kComment) {
-      continue;
-    }
-    std::string_view text = t.text;
-    size_t pos = 0;
-    while ((pos = text.find("farmlint: allow(", pos)) != std::string_view::npos) {
-      pos += std::string_view("farmlint: allow(").size();
-      size_t end = text.find(')', pos);
-      if (end == std::string_view::npos) {
-        break;
-      }
-      std::string_view list = text.substr(pos, end - pos);
-      size_t i = 0;
-      while (i < list.size()) {
-        size_t j = list.find(',', i);
-        if (j == std::string_view::npos) {
-          j = list.size();
-        }
-        std::string_view name = list.substr(i, j - i);
-        while (!name.empty() && name.front() == ' ') {
-          name.remove_prefix(1);
-        }
-        while (!name.empty() && name.back() == ' ') {
-          name.remove_suffix(1);
-        }
-        if (!name.empty()) {
-          cover(t.line, std::string(name));
-        }
-        i = j + 1;
-      }
-      pos = end;
-    }
-  }
-  return allows;
-}
-
-class Reporter {
- public:
-  Reporter(const FileInput& file, const std::set<std::string>& enabled,
-           std::vector<Diagnostic>& out)
-      : file_(file), enabled_(enabled), allows_(ParseAllows(file.tokens)), out_(out) {}
-
-  bool RuleEnabled(const std::string& rule) const { return enabled_.count(rule) != 0; }
-
-  void Report(const std::string& rule, int line, int col, std::string message) {
-    if (!RuleEnabled(rule)) {
-      return;
-    }
-    auto it = allows_.find(line);
-    if (it != allows_.end() && it->second.count(rule) != 0) {
-      return;
-    }
-    out_.push_back(Diagnostic{file_.path, line, col, rule, std::move(message)});
-  }
-
- private:
-  const FileInput& file_;
-  const std::set<std::string>& enabled_;
-  AllowMap allows_;
-  std::vector<Diagnostic>& out_;
-};
-
-// Significant tokens: everything except comments. Rules index into this.
-std::vector<const Token*> Significant(const std::vector<Token>& tokens) {
-  std::vector<const Token*> sig;
-  sig.reserve(tokens.size());
-  for (const Token& t : tokens) {
-    if (t.kind != TokKind::kComment && t.kind != TokKind::kEof) {
-      sig.push_back(&t);
-    }
-  }
-  return sig;
-}
-
-bool IsIdent(const Token* t, std::string_view text) {
-  return t->kind == TokKind::kIdentifier && t->text == text;
-}
-bool IsPunct(const Token* t, std::string_view text) {
-  return t->kind == TokKind::kPunct && t->text == text;
-}
 
 // True when sig[i] is used as a function call target `name(` that is not a
 // member access (`x.time()`) and not qualified by a non-std namespace.
@@ -542,12 +452,19 @@ void CheckHeaderHygiene(const FileInput& file, const std::vector<const Token*>& 
   }
 }
 
-}  // namespace
-
-std::string Diagnostic::ToString() const {
-  return file + ":" + std::to_string(line) + ":" + std::to_string(col) + ": error: [" +
-         rule + "] " + message;
+// Suppression hygiene: an allow() naming an unknown rule silently suppresses
+// nothing and usually means a typo left a real diagnostic unguarded.
+void CheckAllowHygiene(const FileInput& file, Reporter& rep) {
+  for (const AllowName& a : ParseAllowNames(file.tokens)) {
+    if (!IsKnownRule(a.rule)) {
+      rep.Report("bad-allow", a.line, a.col,
+                 "allow() names unknown rule '" + a.rule +
+                     "'; see farmlint --list-rules");
+    }
+  }
 }
+
+}  // namespace
 
 const std::vector<RuleInfo>& AllRules() { return kRules; }
 
@@ -597,12 +514,16 @@ void Linter::CollectDeclarations(const FileInput& file) {
       }
     }
   }
+  // Annotation index: accessors marked `// farmlint: stable` in any input
+  // file are exempt from await-hazard provenance everywhere.
+  std::set<std::string> stable = CollectStableAnnotations(file, nullptr);
+  stable_names_.insert(stable.begin(), stable.end());
 }
 
 std::vector<Diagnostic> Linter::Lint(const FileInput& file,
-                                     const std::set<std::string>& enabled) const {
+                                     const FileConfig& config) const {
   std::vector<Diagnostic> out;
-  Reporter rep(file, enabled, out);
+  Reporter rep(file.path, file.tokens, config.rules, out);
   std::vector<const Token*> sig = Significant(file.tokens);
   CheckWallClockAndRand(file, sig, rep);
   std::set<std::string> unordered = unordered_names_;
@@ -616,9 +537,21 @@ std::vector<Diagnostic> Linter::Lint(const FileInput& file,
   CheckKeyTypes(sig, rep);
   CheckRecorderPod(file, sig, rep);
   CheckHeaderHygiene(file, sig, rep);
+  CheckAllowHygiene(file, rep);
+  if (rep.RuleEnabled("bad-allow")) {
+    CollectStableAnnotations(file, &rep);  // validation only; index is global
+  }
+  AnalyzeAwaitSafety(file, config.await, stable_names_, rep);
   std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
-    return std::tie(a.line, a.col, a.rule) < std::tie(b.line, b.col, b.rule);
+    return std::tie(a.line, a.rule, a.col) < std::tie(b.line, b.rule, b.col);
   });
+  // De-duplicate repeated reports of one rule on one line (e.g. a macro that
+  // expands the same hazard several times): keep the first (smallest column).
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Diagnostic& a, const Diagnostic& b) {
+                          return a.line == b.line && a.rule == b.rule;
+                        }),
+            out.end());
   return out;
 }
 

@@ -1,15 +1,17 @@
 // farmlint rule engine.
 //
 // Rules operate on the token stream from lexer.h. Cross-file knowledge (which
-// variable names are declared as unordered containers anywhere in the repo)
-// is gathered in a collection pass over every input file before any file is
-// linted, so `for (auto& [k, v] : inflight_)` in a .cc file is caught even
-// when `inflight_` is declared in the corresponding header.
+// variable names are declared as unordered containers anywhere in the repo,
+// which accessor names carry a `farmlint: stable` annotation) is gathered in
+// a collection pass over every input file before any file is linted, so
+// `for (auto& [k, v] : inflight_)` in a .cc file is caught even when
+// `inflight_` is declared in the corresponding header.
 //
 // Suppression: a comment containing `farmlint: allow(rule-a, rule-b)`
 // suppresses those rules on its own line and on the following line, so both
 // trailing and preceding-line comments work. Convention: follow the closing
-// parenthesis with a one-line justification.
+// parenthesis with a one-line justification. Naming an unknown rule in an
+// allow list is itself an error (`bad-allow`).
 #ifndef TOOLS_FARMLINT_RULES_H_
 #define TOOLS_FARMLINT_RULES_H_
 
@@ -18,19 +20,11 @@
 #include <string>
 #include <vector>
 
+#include "tools/farmlint/analyzer.h"
+#include "tools/farmlint/diag.h"
 #include "tools/farmlint/lexer.h"
 
 namespace farmlint {
-
-struct Diagnostic {
-  std::string file;  // as given to the driver (repo-relative in CI)
-  int line = 0;
-  int col = 0;
-  std::string rule;
-  std::string message;
-
-  std::string ToString() const;
-};
 
 struct RuleInfo {
   const char* name;
@@ -51,18 +45,27 @@ struct FileInput {
   std::vector<Token> tokens;
 };
 
+// Effective configuration for linting one file: which rules run, plus the
+// await-safety accessor/guard lists (both tunable via `.farmlint`).
+struct FileConfig {
+  std::set<std::string> rules;
+  AwaitConfig await;
+};
+
 class Linter {
  public:
-  // Collection pass: record names declared with an unordered container type.
-  // Call for every input file before the first Lint() call.
+  // Collection pass: record names declared with an unordered container type
+  // and accessor names annotated `// farmlint: stable`. Call for every input
+  // file before the first Lint() call.
   void CollectDeclarations(const FileInput& file);
 
-  // Runs all rules in `enabled` against one file. Diagnostics suppressed by
-  // `farmlint: allow(...)` comments are dropped here.
-  std::vector<Diagnostic> Lint(const FileInput& file,
-                               const std::set<std::string>& enabled) const;
+  // Runs all rules in `config.rules` against one file. Diagnostics
+  // suppressed by `farmlint: allow(...)` comments are dropped here, and
+  // repeated reports for the same (line, rule) are de-duplicated.
+  std::vector<Diagnostic> Lint(const FileInput& file, const FileConfig& config) const;
 
   const std::set<std::string>& unordered_names() const { return unordered_names_; }
+  const std::set<std::string>& stable_names() const { return stable_names_; }
 
  private:
   // Member names (trailing underscore, per the codebase style) are visible
@@ -72,6 +75,10 @@ class Linter {
   // every `m` in the repository.
   std::set<std::string> unordered_names_;
   std::map<std::string, std::set<std::string>> local_unordered_names_;  // by file path
+  // Accessor names whose declaration carries a `farmlint: stable` comment
+  // anywhere in the input set: the annotation index. A stable accessor is
+  // exempt from await-hazard provenance no matter which file calls it.
+  std::set<std::string> stable_names_;
 };
 
 }  // namespace farmlint

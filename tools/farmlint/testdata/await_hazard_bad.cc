@@ -1,0 +1,29 @@
+// Fixture: raw pointers/references/iterators derived from unstable accessors
+// and still used after a co_await. Every function here must fire await-hazard
+// (and nothing else).
+#include <map>
+#include <vector>
+
+Task<int> HeldPointer(int region) {
+  const RegionPlacement* p = config_.Placement(region);  // hazard: pointer
+  co_await Suspend();
+  co_return p->primary;
+}
+
+Task<int> HeldIterator(int key) {
+  auto it = index_.find(key);  // hazard: iterator
+  co_await Suspend();
+  co_return it->second;
+}
+
+Task<int> HeldReference(int key) {
+  const Row& r = table_.at(key);  // hazard: reference
+  co_await Suspend();
+  co_return r.version;
+}
+
+Task<int> HeldSubscript(int key) {
+  const Row& r = rows_[key];  // hazard: operator[] reference
+  co_await Suspend();
+  co_return r.version;
+}

@@ -1,0 +1,44 @@
+// Fixture: await-safe variants of every await_hazard_bad.cc shape; must be
+// completely clean. The safe idioms: copy the needed values before
+// suspending, resolve after resuming, or keep the container in a by-value
+// local that the coroutine frame owns across suspension.
+#include <map>
+#include <vector>
+
+Task<int> CopyBeforeAwait(int region) {
+  int primary = config_.Placement(region)->primary;  // value copy: safe
+  co_await Suspend();
+  co_return primary;
+}
+
+Task<int> ResolveAfterResume(int key) {
+  co_await Suspend();
+  auto it = index_.find(key);  // resolved after the suspension: safe
+  co_return it->second;
+}
+
+Task<int> ValueCopyOfReference(int key) {
+  auto row = table_.at(key);  // auto (no &) copies the row: safe
+  co_await Suspend();
+  co_return row.version;
+}
+
+Task<int> FrameOwnedContainer(int key) {
+  std::map<int, int> scratch;
+  scratch.insert({key, 1});
+  auto it = scratch.find(key);  // frame owns `scratch` across the await: safe
+  co_await Suspend();
+  co_return it->second;
+}
+
+int NotACoroutine(int key) {
+  auto it = index_.find(key);  // no suspension anywhere: safe
+  return it->second;
+}
+
+Task<int> DeadBeforeAwait(int region) {
+  const RegionPlacement* p = config_.Placement(region);
+  int primary = p->primary;  // last use of `p` is before the await: safe
+  co_await Suspend();
+  co_return primary;
+}

@@ -1,0 +1,16 @@
+// Fixture: hazard shapes with justified allow comments; must be clean.
+
+Task<int> PinnedEpoch(int region) {
+  // The caller holds a config epoch pin for the whole transaction, so the
+  // placement table cannot be freed while this coroutine is parked.
+  // farmlint: allow(await-hazard): epoch pinned by caller for the txn
+  const RegionPlacement* p = config_.Placement(region);
+  co_await Suspend();
+  co_return p->primary;
+}
+
+Task<int> TrailingForm(int key) {
+  auto it = index_.find(key);  // farmlint: allow(await-hazard): index_ is append-only
+  co_await Suspend();
+  co_return it->second;
+}

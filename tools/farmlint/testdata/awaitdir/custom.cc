@@ -1,0 +1,15 @@
+// Fixture for .farmlint await-safety verbs: RawSlot() is unstable here (one
+// await-hazard), Placement() is stable here (clean), and SpinGuard is a
+// guard type (one lock-across-await).
+
+Task<int> CustomAccessor(int slot, int region) {
+  const Slot* s = RawSlot(slot);             // unstable via .farmlint
+  const RegionPlacement* p = Placement(region);  // stable via .farmlint
+  co_await Suspend();
+  co_return s->value + p->primary;
+}
+
+Task<void> CustomGuard() {
+  SpinGuard g(latch_);
+  co_await Suspend();
+}

@@ -1,0 +1,9 @@
+// Fixture: suppression-hygiene violations; exactly two bad-allow findings.
+
+int TypoedAllow() {
+  // farmlint: allow(awiat-hazard): typo'd rule name suppresses nothing
+  return 1;
+}
+
+// farmlint: stable
+int kNotAnAccessor = 3;  // annotation binds to no `name(...)` declaration

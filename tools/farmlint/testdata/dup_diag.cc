@@ -1,0 +1,8 @@
+// Fixture: two hazards on one line must collapse into a single diagnostic
+// (de-duplication on (line, rule)).
+
+Task<int> TwoOnOneLine() {
+  const Row* a = table_.data(); const Row* b = table_.data();
+  co_await Suspend();
+  co_return a->version + b->version;
+}

@@ -1,0 +1,25 @@
+// Fixture: iterators/references used after the container they point into was
+// mutated. All three functions must fire iterator-invalidate (and nothing
+// else). No coroutines needed: invalidation is a same-scope bug.
+#include <map>
+#include <vector>
+
+int EraseWhileHeld(int key) {
+  auto it = sessions_.find(key);
+  sessions_.erase(kStaleKey);  // may rebalance/free the node `it` points at
+  return it->second;
+}
+
+int PushWhileHeld() {
+  const Frame& f = frames_.front();
+  frames_.push_back(MakeFrame());  // may reallocate the backing array
+  return f.sequence;
+}
+
+void MutateInRangeFor() {
+  for (const auto& s : pending_) {
+    if (s.done) {
+      pending_.erase(s.id);  // invalidates the loop's hidden iterator
+    }
+  }
+}

@@ -1,0 +1,34 @@
+// Fixture: the safe counterparts of iter_invalidate_bad.cc; must be clean.
+#include <map>
+#include <vector>
+
+int ReseatAfterErase(int key) {
+  auto it = sessions_.find(key);
+  it = sessions_.erase(it);  // erase returns the next iterator: re-seated
+  return it->second;
+}
+
+int CopyThenMutate(int key) {
+  int v = sessions_.at(key);  // value copy, no reference into the container
+  sessions_.erase(key);
+  return v;
+}
+
+int MutateAfterLastUse(int key) {
+  auto it = sessions_.find(key);
+  int v = it->second;
+  sessions_.erase(key);  // iterator already dead: fine
+  return v;
+}
+
+void CollectThenApply() {
+  std::vector<int> done;
+  for (const auto& s : pending_) {
+    if (s.second) {
+      done.push_back(s.first);  // mutating `done`, not the iterated container
+    }
+  }
+  for (int id : done) {
+    pending_.erase(id);
+  }
+}

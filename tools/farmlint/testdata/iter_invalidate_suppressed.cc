@@ -1,0 +1,11 @@
+// Fixture: justified iterator-invalidate suppressions; must be clean.
+#include <map>
+
+int NodeStableContainer(int key) {
+  auto it = sessions_.find(key);
+  sessions_.erase(kStaleKey);
+  // std::map erase only invalidates iterators to the erased element, and
+  // kStaleKey is never the looked-up key here.
+  // farmlint: allow(iterator-invalidate): map erase of a different key
+  return it->second;
+}

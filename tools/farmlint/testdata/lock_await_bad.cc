@@ -1,0 +1,17 @@
+// Fixture: RAII lock guards held across a co_await. The lock stays taken
+// while the coroutine is parked, which stalls every other task on the same
+// mutex until this one is resumed. Both functions must fire
+// lock-across-await (and nothing else).
+#include <mutex>
+
+Task<void> GuardAcrossAwait() {
+  std::lock_guard<std::mutex> g(mu_);
+  co_await Suspend();
+  state_ = 1;
+}
+
+Task<void> UniqueLockAcrossAwait() {
+  std::unique_lock<std::mutex> u(mu_);
+  pending_ = 2;
+  co_await Suspend();
+}

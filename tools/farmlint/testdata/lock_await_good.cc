@@ -1,0 +1,22 @@
+// Fixture: lock guards correctly scoped to end before the suspension point;
+// must be clean.
+#include <mutex>
+
+Task<void> ScopedGuard() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    state_ = 1;
+  }  // guard released here, before suspending
+  co_await Suspend();
+}
+
+void NoSuspension() {
+  std::lock_guard<std::mutex> g(mu_);  // not a coroutine: fine
+  state_ = 2;
+}
+
+Task<void> GuardAfterAwait() {
+  co_await Suspend();
+  std::lock_guard<std::mutex> g(mu_);  // taken after the last suspension: fine
+  state_ = 3;
+}

@@ -1,0 +1,10 @@
+// Fixture: a justified lock held across a suspension; must be clean.
+#include <mutex>
+
+Task<void> CheckpointExclusion() {
+  // Checkpointing must exclude all writers across the flush await; the
+  // simulator runs one task at a time so this cannot deadlock.
+  // farmlint: allow(lock-across-await): checkpoint needs writer exclusion
+  std::lock_guard<std::mutex> g(mu_);
+  co_await FlushAll();
+}

@@ -1,0 +1,13 @@
+// Fixture: the exact shape of the PR 4 use-after-free in Node::ResolveRef.
+// config_.Placement() returns a pointer into the current configuration;
+// reconfiguration frees the old configuration while this coroutine sleeps,
+// so reading `p` after SleepFor resumed dereferenced freed memory.
+// await-hazard must flag this.
+
+Task<RefState> ResolveRef(RegionId region) {
+  const RegionPlacement* p = config_.Placement(region);
+  while (p->primary != id_) {
+    co_await SleepFor(backoff_);
+  }
+  co_return RefState{p->primary, p->epoch};
+}

@@ -1,0 +1,14 @@
+// Fixture: header declaring an accessor whose results are await-stable. The
+// annotation below is indexed by CollectDeclarations and exempts Placement()
+// calls on PinnedConfig in every linted file.
+#ifndef TOOLS_FARMLINT_TESTDATA_STABLE_ACCESSOR_H_
+#define TOOLS_FARMLINT_TESTDATA_STABLE_ACCESSOR_H_
+
+struct PinnedConfig {
+  // Every in-flight transaction holds a refcount on this configuration, so
+  // placement pointers stay valid across suspension.
+  // farmlint: stable
+  const RegionPlacement* Placement(int region) const;
+};
+
+#endif  // TOOLS_FARMLINT_TESTDATA_STABLE_ACCESSOR_H_

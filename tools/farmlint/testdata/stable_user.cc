@@ -1,0 +1,10 @@
+// Fixture: holds a pointer from an accessor marked `farmlint: stable` in
+// stable_accessor.h across a co_await; must be clean when that header was
+// collected first.
+#include "stable_accessor.h"
+
+Task<int> UsePinned(const PinnedConfig& cfg, int region) {
+  const RegionPlacement* p = cfg.Placement(region);
+  co_await Suspend();
+  co_return p->primary;
+}
