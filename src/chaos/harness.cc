@@ -5,11 +5,13 @@
 #include <memory>
 #include <sstream>
 
+#include "src/chaos/faultpoint.h"
 #include "src/chaos/oracle.h"
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/core/cluster.h"
 #include "src/core/region.h"
+#include "src/obs/fault_hook.h"
 
 namespace farm {
 namespace chaos {
@@ -25,6 +27,21 @@ constexpr int64_t kInitialBalance = 0;
 // The liveness watchdog: the cluster must commit within this window after
 // the last fault heals.
 constexpr SimDuration kLivenessWindow = 250 * kMillisecond;
+// Isolation window for trigger-driven partitions when the trigger carries
+// no explicit param: long enough to outlast the lease and get the isolated
+// side evicted, matching the generated plans' partition durations.
+constexpr SimDuration kDefaultPartitionWindow = 50 * kMillisecond;
+
+// Installs a fault hook for the enclosing scope (every run installs one,
+// even with no triggers -- the hit counts are the explorer's discovery
+// data) and guarantees removal on every return path.
+struct HookGuard {
+  explicit HookGuard(fault::Hook* hook) : h(hook) { fault::InstallHook(h); }
+  ~HookGuard() { fault::RemoveHook(h); }
+  HookGuard(const HookGuard&) = delete;
+  HookGuard& operator=(const HookGuard&) = delete;
+  fault::Hook* h;
+};
 
 std::vector<uint8_t> EncodeAccount(uint64_t seq, int64_t balance) {
   std::vector<uint8_t> b(kPayload);
@@ -398,6 +415,70 @@ class ChaosExecutor {
   std::vector<MachineId> flaky_;
 };
 
+// Liveness watchdog: polls while the run executes and snapshots the flight
+// recorders at the moment the liveness window expires with no commit, so a
+// hung cluster's postmortem shows the stall -- not the settled state an
+// end-of-run snapshot would show.
+Task<void> Watchdog(RunState* st, std::string* snapshot) {
+  Simulator& sim = st->cluster->sim();
+  while (snapshot->empty()) {
+    co_await SleepFor(sim, 2 * kMillisecond);
+    SimTime deadline = st->fault_deadline + kLivenessWindow;
+    if (sim.Now() <= deadline) {
+      continue;
+    }
+    if (st->commits > 0 && st->first_commit_after_faults <= deadline) {
+      continue;  // liveness satisfied (the deadline may still move later)
+    }
+    *snapshot = st->cluster->FlightPostmortem();
+  }
+}
+
+// Satellite of the oracle detail: for each offending transaction, the
+// record-seq window of its flight records on every machine, appended to the
+// failure message so a postmortem reader can jump straight to the relevant
+// slice of each ring.
+std::string FlightSeqWindows(Cluster& c, const std::vector<TxId>& txs) {
+  if (txs.empty()) {
+    return "";
+  }
+  std::map<uint32_t, std::pair<uint64_t, uint64_t>> windows;  // machine -> seq range
+  for (int m = 0; m < c.num_machines(); m++) {
+    flight::Recorder* rec = c.flight_recorder(static_cast<MachineId>(m));
+    if (rec == nullptr) {
+      continue;
+    }
+    for (const auto& dr : rec->Drain()) {
+      if ((dr.rec.flags & flight::Record::kHasTx) == 0) {
+        continue;
+      }
+      for (const TxId& tx : txs) {
+        if (dr.rec.tx_local == tx.local &&
+            dr.rec.tx_machine == static_cast<uint16_t>(tx.machine) &&
+            dr.rec.tx_thread == tx.thread &&
+            dr.rec.tx_config == static_cast<uint32_t>(tx.config)) {
+          auto [it, fresh] = windows.emplace(dr.machine, std::make_pair(dr.seq, dr.seq));
+          if (!fresh) {
+            it->second.first = std::min(it->second.first, dr.seq);
+            it->second.second = std::max(it->second.second, dr.seq);
+          }
+          break;
+        }
+      }
+    }
+  }
+  std::ostringstream out;
+  out << " [flight:";
+  if (windows.empty()) {
+    out << " no records for the offending txs";
+  }
+  for (const auto& [m, w] : windows) {
+    out << " m" << m << " seq " << w.first << ".." << w.second << ";";
+  }
+  out << "]";
+  return out.str();
+}
+
 // Minimal local RunTask (tests/test_util.h is not visible from src/).
 template <typename T>
 std::optional<T> RunToCompletion(Cluster& cluster, Task<T> task, SimDuration timeout) {
@@ -417,6 +498,22 @@ std::optional<T> RunToCompletion(Cluster& cluster, Task<T> task, SimDuration tim
 
 }  // namespace
 
+const char* FailureClassName(FailureClass c) {
+  switch (c) {
+    case FailureClass::kNone:
+      return "none";
+    case FailureClass::kSetup:
+      return "setup";
+    case FailureClass::kRegionLost:
+      return "region-lost";
+    case FailureClass::kLiveness:
+      return "liveness";
+    case FailureClass::kOracle:
+      return "oracle";
+  }
+  return "unknown";
+}
+
 ChaosRunResult RunChaos(const ChaosRunOptions& options) {
   PlanOptions popts = options.plan;
   popts.machines = options.machines;
@@ -427,10 +524,14 @@ ChaosRunResult RunChaosPlan(const ChaosRunOptions& options, const ChaosPlan& pla
   ChaosRunResult res;
   res.plan = plan;
   // Every failure return below snapshots the flight recorders so the
-  // artifact shows the protocol timeline leading up to the violation.
-  auto fail = [&res](Cluster& c, const std::string& why) -> ChaosRunResult& {
+  // artifact shows the protocol timeline leading up to the violation. A
+  // non-empty `postmortem` argument supplies an earlier snapshot (the
+  // liveness watchdog's at-expiry capture) instead.
+  auto fail = [&res](Cluster& c, FailureClass cls, const std::string& why,
+                     std::string postmortem = std::string()) -> ChaosRunResult& {
     res.failure = why;
-    res.postmortem = c.FlightPostmortem();
+    res.failure_class = cls;
+    res.postmortem = postmortem.empty() ? c.FlightPostmortem() : std::move(postmortem);
     return res;
   };
 
@@ -455,7 +556,7 @@ ChaosRunResult RunChaosPlan(const ChaosRunOptions& options, const ChaosPlan& pla
   };
   auto created = RunToCompletion(cluster, create(&cluster), 2 * kSecond);
   if (!created.has_value() || !created->ok()) {
-    return fail(cluster, "bank region creation failed");
+    return fail(cluster, FailureClass::kSetup, "bank region creation failed");
   }
 
   BankOracle oracle(options.accounts, kInitialBalance);
@@ -467,9 +568,74 @@ ChaosRunResult RunChaosPlan(const ChaosRunOptions& options, const ChaosPlan& pla
   st.fault_deadline = plan.LastFaultTime();
   st.event_log = &res.event_log;
 
+  // The fault injector observes every fault point (discovery data) and
+  // fires the plan's triggers. Kills, partitions, and lease expiries are
+  // deferred through sim.At(now) so they never mutate cluster state under
+  // the protocol code that hit the point.
+  Cluster* cp = &cluster;
+  RunState* stp = &st;
+  const int total_machines = copts.machines + copts.zk_replicas;
+  // Trigger-driven faults move the liveness deadline: the run must commit
+  // within the window after the LAST fault of any kind.
+  auto extend_deadline = [stp](SimTime until) {
+    if (until > stp->fault_deadline) {
+      stp->fault_deadline = until;
+      stp->first_commit_after_faults = kSimTimeNever;
+    }
+  };
+  FaultInjector::Callbacks cb;
+  cb.now = [cp] { return static_cast<uint64_t>(cp->sim().Now()); };
+  cb.kill = [cp, extend_deadline, total_machines](uint32_t m) {
+    extend_deadline(cp->sim().Now());
+    cp->sim().At(cp->sim().Now(), [cp, m, total_machines] {
+      if (m < static_cast<uint32_t>(total_machines) &&
+          cp->machine(static_cast<MachineId>(m)).alive()) {
+        cp->Kill(static_cast<MachineId>(m));
+      }
+    });
+  };
+  cb.partition = [cp, extend_deadline, total_machines](uint32_t m, uint64_t window_ns) {
+    SimDuration w = window_ns == 0 ? kDefaultPartitionWindow
+                                   : static_cast<SimDuration>(window_ns);
+    extend_deadline(cp->sim().Now() + w);
+    cp->sim().At(cp->sim().Now(), [cp, m, total_machines] {
+      std::vector<MachineId> minority = {static_cast<MachineId>(m)};
+      std::vector<MachineId> majority;
+      for (int i = 0; i < total_machines; i++) {
+        if (static_cast<uint32_t>(i) != m) {
+          majority.push_back(static_cast<MachineId>(i));
+        }
+      }
+      cp->fabric().SetPartition({majority, minority});
+    });
+    cp->sim().At(cp->sim().Now() + w, [cp] { cp->fabric().ClearPartition(); });
+  };
+  cb.lease_expiry = [cp, extend_deadline](uint32_t m, uint32_t peer) {
+    extend_deadline(cp->sim().Now());
+    cp->sim().At(cp->sim().Now(), [cp, m, peer] {
+      if (m < static_cast<uint32_t>(cp->num_machines()) &&
+          cp->machine(static_cast<MachineId>(m)).alive()) {
+        cp->node(static_cast<MachineId>(m))
+            .lease_manager()
+            .ForceExpiry(static_cast<MachineId>(peer));
+      }
+    });
+  };
+  cb.note = [cp, stp](const std::string& line) {
+    std::ostringstream full;
+    full << "t=" << cp->sim().Now() / kMillisecond << "ms " << line;
+    stp->event_log->push_back(full.str());
+    FARM_LOG(Info) << "chaos: " << full.str();
+    cp->metrics_registry().GetCounter("chaos_injections", {}).Inc();
+  };
+  FaultInjector injector(plan.triggers, cb, static_cast<uint64_t>(plan.options.start));
+  HookGuard hook_guard(&injector);
+
+  std::string liveness_postmortem;
   ChaosExecutor exec(&st, &plan);
   Spawn(Driver(&st, plan.seed, plan.options.horizon, copts.node.worker_threads));
   Spawn(exec.Run());
+  Spawn(Watchdog(&st, &liveness_postmortem));
 
   SimTime now = cluster.sim().Now();
   if (plan.options.horizon > now) {
@@ -480,31 +646,44 @@ ChaosRunResult RunChaosPlan(const ChaosRunOptions& options, const ChaosPlan& pla
 
   res.commits = st.commits;
   res.last_commit = st.last_commit;
+  res.point_hits = injector.point_hits();
+  res.triggers_fired = injector.firings().size();
   for (const auto& op : oracle.ops()) {
     res.unknown_outcomes += op.outcome == OpOutcome::kUnknown ? 1 : 0;
   }
+  const Configuration* cfg = FreshestConfig(cluster);
+  if (cfg != nullptr) {
+    for (MachineId m : cfg->machines) {
+      if (cluster.machine(m).alive()) {
+        res.final_members.push_back(static_cast<uint32_t>(m));
+      }
+    }
+  }
 
   if (cluster.AnyRegionLost()) {
-    return fail(cluster, "bank region lost all replicas");
+    return fail(cluster, FailureClass::kRegionLost, "bank region lost all replicas");
   }
   if (st.commits == 0) {
-    return fail(cluster, "liveness: no transfer ever committed");
+    return fail(cluster, FailureClass::kLiveness, "liveness: no transfer ever committed",
+                liveness_postmortem);
   }
   if (st.first_commit_after_faults == kSimTimeNever ||
       st.first_commit_after_faults > st.fault_deadline + kLivenessWindow) {
-    return fail(cluster,
-                "liveness: no commit within the recovery window after the last fault");
+    return fail(cluster, FailureClass::kLiveness,
+                "liveness: no commit within the recovery window after the last fault",
+                liveness_postmortem);
   }
 
   // Final state, read from the surviving primary's replica.
-  const Configuration* cfg = FreshestConfig(cluster);
   const RegionPlacement* placement = cfg == nullptr ? nullptr : cfg->Placement(st.rid);
   if (placement == nullptr || !cluster.machine(placement->primary).alive()) {
-    return fail(cluster, "no live primary for the bank region after settling");
+    return fail(cluster, FailureClass::kRegionLost,
+                "no live primary for the bank region after settling");
   }
   RegionReplica* rep = cluster.node(placement->primary).replica(st.rid);
   if (rep == nullptr) {
-    return fail(cluster, "primary is missing its bank region replica");
+    return fail(cluster, FailureClass::kRegionLost,
+                "primary is missing its bank region replica");
   }
   std::vector<FinalAccount> final_state(static_cast<size_t>(options.accounts));
   for (int a = 0; a < options.accounts; a++) {
@@ -514,8 +693,10 @@ ChaosRunResult RunChaosPlan(const ChaosRunOptions& options, const ChaosPlan& pla
   }
 
   std::string failure;
-  if (!oracle.Check(final_state, &failure)) {
-    return fail(cluster, failure);
+  CheckDetail detail;
+  if (!oracle.Check(final_state, &failure, &detail)) {
+    return fail(cluster, FailureClass::kOracle,
+                failure + FlightSeqWindows(cluster, detail.txs));
   }
   res.ok = true;
   return res;

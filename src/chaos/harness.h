@@ -9,6 +9,7 @@
 #define SRC_CHAOS_HARNESS_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,19 @@
 
 namespace farm {
 namespace chaos {
+
+// Coarse classification of a run failure; tools/chaos maps these to
+// distinct exit codes so CI and --until-fail scripts can tell an invariant
+// violation from a stuck cluster without parsing messages.
+enum class FailureClass : uint8_t {
+  kNone = 0,        // run passed
+  kSetup = 1,       // the cluster never got off the ground (region creation)
+  kRegionLost = 2,  // the bank region lost every replica (or its primary)
+  kLiveness = 3,    // the cluster stopped committing after the faults
+  kOracle = 4,      // a consistency invariant was violated
+};
+
+const char* FailureClassName(FailureClass c);
 
 struct ChaosRunOptions {
   int machines = 6;
@@ -31,10 +45,19 @@ struct ChaosRunOptions {
 struct ChaosRunResult {
   bool ok = false;
   std::string failure;  // first violated invariant, empty when ok
+  FailureClass failure_class = FailureClass::kNone;
   ChaosPlan plan;       // the executed plan (dump this to reproduce)
   uint64_t commits = 0;
   uint64_t unknown_outcomes = 0;
   SimTime last_commit = 0;
+  // Fault-point hit counts observed by the injector (from plan.options.start
+  // on): the explorer's discovery data. Keyed by point name.
+  std::map<std::string, uint64_t> point_hits;
+  // How many of plan.triggers actually fired.
+  uint64_t triggers_fired = 0;
+  // Live members of the freshest configuration after settling, for rejoin
+  // assertions in regression tests.
+  std::vector<uint32_t> final_members;
   // Human-readable record of the events as resolved against cluster state
   // ("t=120ms kill-primary -> m2"); goes in failing-seed artifacts.
   std::vector<std::string> event_log;

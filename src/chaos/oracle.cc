@@ -83,9 +83,14 @@ uint64_t BankOracle::CommittedCount() const {
   return n;
 }
 
-bool BankOracle::Check(const std::vector<FinalAccount>& final_state,
-                       std::string* failure) const {
+bool BankOracle::Check(const std::vector<FinalAccount>& final_state, std::string* failure,
+                       CheckDetail* detail) const {
   std::ostringstream why;
+  auto blame = [detail](const TxId& tx) {
+    if (detail != nullptr) {
+      detail->txs.push_back(tx);
+    }
+  };
 
   // ---- 1. at-most-once commit per TxId ----
   std::set<TxId> committed_ids;
@@ -95,6 +100,7 @@ bool BankOracle::Check(const std::vector<FinalAccount>& final_state,
     }
     if (!committed_ids.insert(op.tx).second) {
       why << "duplicate commit for TxId of " << DescribeOp(op);
+      blame(op.tx);
       *failure = why.str();
       return false;
     }
@@ -130,6 +136,7 @@ bool BankOracle::Check(const std::vector<FinalAccount>& final_state,
           if (slot > fin.seq) {
             why << "lost committed write: " << DescribeOp(op) << " wrote account " << acct
                 << " slot " << slot << " but final seq is " << fin.seq;
+            blame(op.tx);
             *failure = why.str();
             return false;
           }
@@ -138,6 +145,8 @@ bool BankOracle::Check(const std::vector<FinalAccount>& final_state,
             why << "double write: " << DescribeOp(op) << " and "
                 << DescribeOp(ops_[it->second.op]) << " both claim account " << acct
                 << " slot " << slot;
+            blame(op.tx);
+            blame(ops_[it->second.op].tx);
             *failure = why.str();
             return false;
           }
@@ -154,6 +163,75 @@ bool BankOracle::Check(const std::vector<FinalAccount>& final_state,
           << " committed writes and " << unknown_candidates.size()
           << " unknown-outcome candidates cannot explain final (seq " << fin.seq
           << ", balance " << fin.balance << ")";
+      // Greedy re-walk for the diagnostic: force committed claims (and any
+      // matching unknown op) slot by slot until the first slot that cannot
+      // be explained, then name the claimants around it.
+      uint64_t stuck_slot = 0;
+      int64_t stuck_balance = initial_balance_;
+      {
+        int64_t balance = initial_balance_;
+        std::vector<bool> dused(unknown_candidates.size(), false);
+        for (uint64_t slot = 1; slot <= fin.seq; slot++) {
+          bool filled = false;
+          auto it = committed_slots.find(slot);
+          if (it != committed_slots.end()) {
+            const AccountAccess& a = ops_[it->second.op].accesses[it->second.access];
+            if (a.bal_read == balance) {
+              balance = a.bal_written;
+              filled = true;
+            }
+          } else {
+            for (size_t i = 0; i < unknown_candidates.size(); i++) {
+              const AccountAccess& a =
+                  ops_[unknown_candidates[i].op].accesses[unknown_candidates[i].access];
+              if (!dused[i] && a.seq_read + 1 == slot && a.bal_read == balance) {
+                dused[i] = true;
+                balance = a.bal_written;
+                filled = true;
+                break;
+              }
+            }
+          }
+          if (!filled) {
+            stuck_slot = slot;
+            stuck_balance = balance;
+            break;
+          }
+        }
+      }
+      if (stuck_slot != 0) {
+        why << "; first unexplained slot " << stuck_slot << " (running balance "
+            << stuck_balance << ")";
+        auto sit = committed_slots.find(stuck_slot);
+        if (sit != committed_slots.end()) {
+          const AccountAccess& a = ops_[sit->second.op].accesses[sit->second.access];
+          why << ": claimant " << DescribeOp(ops_[sit->second.op]) << " read (seq "
+              << a.seq_read << ", balance " << a.bal_read << ") wrote balance "
+              << a.bal_written;
+        } else {
+          why << ": no committed or unknown-outcome claimant";
+          // A write landed that nothing owns up to: look for an op the
+          // application saw as aborted whose access matches the gap.
+          for (size_t i = 0; i < ops_.size(); i++) {
+            for (const AccountAccess& a : ops_[i].accesses) {
+              if (a.account == acct && a.seq_read + 1 == stuck_slot &&
+                  a.bal_read == stuck_balance) {
+                why << "; aborted-but-applied suspect " << DescribeOp(ops_[i]);
+                blame(ops_[i].tx);
+              }
+            }
+          }
+        }
+        // Name the committed neighbors for context; they bound the gap.
+        for (uint64_t s = stuck_slot > 2 ? stuck_slot - 2 : 1; s <= stuck_slot + 2; s++) {
+          auto nit = committed_slots.find(s);
+          if (nit != committed_slots.end()) {
+            why << (s < stuck_slot ? "; before: " : (s == stuck_slot ? "; at: " : "; after: "))
+                << "slot " << s << " " << DescribeOp(ops_[nit->second.op]);
+            blame(ops_[nit->second.op].tx);
+          }
+        }
+      }
       *failure = why.str();
       return false;
     }
@@ -173,9 +251,11 @@ bool BankOracle::Check(const std::vector<FinalAccount>& final_state,
     }
   }
   std::map<size_t, size_t> op_node;  // op index -> graph node id
+  std::vector<size_t> node_op;       // graph node id -> op index (clock nodes: npos)
   size_t next_node = 0;
   for (size_t op : active_ops) {
     op_node[op] = next_node++;
+    node_op.push_back(op);
   }
   std::vector<SimTime> end_times;
   for (size_t op : active_ops) {
@@ -188,6 +268,7 @@ bool BankOracle::Check(const std::vector<FinalAccount>& final_state,
   std::map<SimTime, size_t> clock_node;
   for (SimTime t : end_times) {
     clock_node[t] = next_node++;
+    node_op.push_back(static_cast<size_t>(-1));
   }
 
   std::vector<std::vector<size_t>> adj(next_node);
@@ -224,7 +305,19 @@ bool BankOracle::Check(const std::vector<FinalAccount>& final_state,
       if (edge < adj[node].size()) {
         size_t next = adj[node][edge++];
         if (color[next] == 1) {
-          why << "strict serializability violated: conflict/real-time cycle detected";
+          why << "strict serializability violated: conflict/real-time cycle through";
+          // The cycle is the gray-stack suffix from `next` up; name its ops.
+          size_t from = 0;
+          while (from < stack.size() && stack[from].first != next) {
+            from++;
+          }
+          for (size_t k = from; k < stack.size(); k++) {
+            size_t op = node_op[stack[k].first];
+            if (op != static_cast<size_t>(-1)) {
+              why << " " << DescribeOp(ops_[op]);
+              blame(ops_[op].tx);
+            }
+          }
           *failure = why.str();
           return false;
         }

@@ -64,6 +64,13 @@ struct FinalAccount {
   int64_t balance = 0;
 };
 
+// Culprit transactions behind a Check failure. The harness resolves these
+// against the flight recorders to append each machine's record-seq window
+// for the offending transactions to the failure message.
+struct CheckDetail {
+  std::vector<TxId> txs;
+};
+
 class BankOracle {
  public:
   BankOracle(int accounts, int64_t initial_balance)
@@ -87,8 +94,10 @@ class BankOracle {
   }
 
   // Runs all checks; returns false and fills `failure` on the first
-  // violation. `final_state` must have one entry per account.
-  bool Check(const std::vector<FinalAccount>& final_state, std::string* failure) const;
+  // violation. `final_state` must have one entry per account. `detail`,
+  // when non-null, receives the offending TxIds.
+  bool Check(const std::vector<FinalAccount>& final_state, std::string* failure,
+             CheckDetail* detail = nullptr) const;
 
   const std::vector<TransferOp>& ops() const { return ops_; }
   uint64_t CommittedCount() const;

@@ -81,6 +81,10 @@ std::string ChaosPlan::ToText() const {
     out << "event " << e.at << " " << EventKindName(e.kind) << " " << e.pick
         << " " << e.param << "\n";
   }
+  for (const auto& t : triggers) {
+    out << "inject " << t.point << " " << t.hit << " " << FaultActionName(t.action)
+        << " " << t.machine << " " << t.param << "\n";
+  }
   return out.str();
 }
 
@@ -126,6 +130,14 @@ bool ChaosPlan::Parse(const std::string& text, ChaosPlan* out) {
         return false;
       }
       plan.events.push_back(e);
+    } else if (key == "inject") {
+      FaultTrigger t;
+      std::string action_name;
+      ls >> t.point >> t.hit >> action_name >> t.machine >> t.param;
+      if (ls.fail() || !FaultActionFromName(action_name, &t.action)) {
+        return false;
+      }
+      plan.triggers.push_back(t);
     } else {
       return false;
     }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/chaos/faultpoint.h"
 #include "src/sim/time.h"
 
 namespace farm {
@@ -66,6 +67,11 @@ struct ChaosPlan {
   uint64_t seed = 0;
   PlanOptions options;
   std::vector<ChaosEvent> events;  // sorted by `at`
+  // Fault-point triggers (the explorer's schedules): fired by execution
+  // reaching named protocol points rather than by the clock, in order, with
+  // chained hit counting (see src/chaos/faultpoint.h). Serialized as
+  // `inject <point> <hit> <action> <machine> <param>` lines.
+  std::vector<FaultTrigger> triggers;
 
   // Time of the last injected event; the cluster is fully healed after it
   // (every generated plan closes its partition/loss/slow/flaky windows).

@@ -4,6 +4,7 @@
 
 #include "src/core/cluster.h"
 #include "src/core/node.h"
+#include "src/obs/fault_hook.h"
 #include "src/obs/trace.h"
 
 namespace farm {
@@ -454,6 +455,7 @@ Detached Node::RunReconfiguration(std::vector<MachineId> suspects) {
     reconfig_in_flight_ = false;
     co_return;
   }
+  fault::HitPoint(static_cast<uint32_t>(id()), "reconfig-probe", old.id);
 
   // Step 3: atomically advance the configuration in the coordination
   // service (Vertical Paxos; znode CAS keyed by the old configuration id).
@@ -488,11 +490,27 @@ Detached Node::RunReconfiguration(std::vector<MachineId> suspects) {
 
   auto cas = co_await cluster_->zk().CompareAndSwap(id(), old.id, next.Serialize(), nullptr);
   if (cas.ok()) {
+    fault::HitPoint(static_cast<uint32_t>(id()), "reconfig-commit", next.id);
     cluster_->NoteMilestone("zookeeper");
     FARM_TRACE(CompleteSpan(trace_pid, 0, "recovery", "new-config-cas", step_start));
   }
   if (!cas.ok()) {
     FARM_LOG(Info) << "node " << id() << ": lost configuration CAS for id " << next.id;
+    // Losing the CAS means someone committed a newer configuration. If its
+    // CM died before distributing NEW-CONFIG, nobody else will ever tell us:
+    // every machine still at the old id would lose this same CAS and wedge.
+    // Read the committed configuration and adopt it; the lease machinery
+    // then suspects its (possibly dead) CM and reconfigures on top of it.
+    auto current = co_await cluster_->zk().Read(id(), nullptr);
+    if (current.ok() && !current->data.empty()) {
+      Configuration committed = Configuration::ParseBytes(current->data);
+      // Only adopt configurations we belong to; if the committed one
+      // evicted us, the eviction monitor (which compares against our old
+      // membership) handles the restart-and-rejoin path.
+      if (committed.id > config_.id && committed.Contains(id())) {
+        OnNewConfig(committed.cm, std::move(committed));
+      }
+    }
     reconfig_in_flight_ = false;
     co_return;
   }

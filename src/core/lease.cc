@@ -2,6 +2,7 @@
 
 #include "src/core/cluster.h"
 #include "src/core/node.h"
+#include "src/obs/fault_hook.h"
 #include "src/obs/trace.h"
 
 namespace farm {
@@ -68,6 +69,8 @@ void LeaseManager::Send(MachineId dst, uint8_t step) {
   if (!node_->fabric().IsAlive(node_->id())) {
     return;
   }
+  fault::HitPoint(static_cast<uint32_t>(node_->id()), "lease-send",
+                  static_cast<uint64_t>(dst));
   std::vector<uint8_t> payload = {kLeaseMagic, step};
   if (options_.impl == LeaseImpl::kRpc) {
     // Lease messages share the data-plane message queues: they wait behind
@@ -195,6 +198,15 @@ void LeaseManager::CheckExpiries() {
       node_->OnCmSuspected();
     }
   }
+}
+
+void LeaseManager::ForceExpiry(MachineId peer) {
+  auto it = expiry_.find(peer);
+  if (it == expiry_.end()) {
+    return;
+  }
+  it->second = 0;
+  CheckExpiries();
 }
 
 void LeaseManager::SetPreemptionNoise(double events_per_sec, SimDuration burst) {

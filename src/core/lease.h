@@ -68,6 +68,12 @@ class LeaseManager {
   // priority) lease thread.
   void SetPreemptionNoise(double events_per_sec, SimDuration burst);
 
+  // Chaos injection: expire the lease held for `peer` right now, as if every
+  // renewal in the period had been lost, and run the expiry check. No-op if
+  // no lease for `peer` is held (e.g. this node is not the CM and peer is
+  // not its CM).
+  void ForceExpiry(MachineId peer);
+
   uint64_t expiry_events() const { return expiry_events_; }
   const LeaseOptions& options() const { return options_; }
   void set_duration(SimDuration d) { options_.duration = d; }

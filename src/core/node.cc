@@ -688,7 +688,7 @@ bool Node::WasTruncated(const TxId& id) const {
   return it != truncated_.end() && it->second.Contains(id.local);
 }
 
-void Node::ProcessTruncation(MachineId from, const TxId& id) {
+void Node::ProcessTruncation(MachineId from, const TxId& id, bool apply_backup_writes) {
   FlightLogTx(flight_, sim().Now(), flight::EventKind::kTruncateRecord, id, 0, from);
   RecordTruncated(id);
   auto it = log_index_.find(id);
@@ -697,7 +697,8 @@ void Node::ProcessTruncation(MachineId from, const TxId& id) {
       // Backups apply the buffered updates to their region copies at
       // truncation time (section 4, step 5).
       const TxLogRecord* rec = messenger_->GetStoredLog(m, seq);
-      if (rec != nullptr && rec->type == LogRecordType::kCommitBackup) {
+      if (apply_backup_writes && rec != nullptr &&
+          rec->type == LogRecordType::kCommitBackup) {
         HwThread& worker_thread = machine_->thread(static_cast<int>(
             m % static_cast<MachineId>(options_.worker_threads)));
         for (const WireWrite& w : rec->writes) {

@@ -229,6 +229,7 @@ class Node {
   void OnNewConfigAck(MachineId from, ConfigId id);
   void OnNewConfigCommit(ConfigId id);
   void OnRecoveryDecisionAck(MachineId from, const TxId& id);
+  void ResolveInflightByRecovery(const TxId& id, bool commit);
 
  private:
   friend class Transaction;
@@ -239,7 +240,9 @@ class Node {
   void ProcessLock(MachineId from, uint64_t seq, const TxLogRecord& rec);
   void ProcessCommitPrimary(MachineId from, const TxLogRecord& rec);
   void ProcessAbort(MachineId from, const TxLogRecord& rec);
-  void ProcessTruncation(MachineId from, const TxId& id);
+  // `apply_backup_writes` is false only for TRUNCATE-RECOVERY after an abort
+  // decision: the stored COMMIT-BACKUP records must be discarded, not applied.
+  void ProcessTruncation(MachineId from, const TxId& id, bool apply_backup_writes = true);
   void ApplyWriteAtPrimary(const WireWrite& w);
   void ApplyWriteAtBackup(const WireWrite& w);
   void RecordTruncated(const TxId& id);
@@ -369,6 +372,12 @@ class Node {
     TxLogRecord lock_record;
     bool locks_held = false;
     bool applied = false;
+    // Durable memory of a recovery decision (section 5.3 step 7): the
+    // COMMIT-RECOVERY / ABORT-RECOVERY records the paper logs at every
+    // participant. A later recovery round must re-derive the same outcome
+    // even when every machine that held the deciding evidence is gone.
+    bool commit_recovered = false;
+    bool abort_recovered = false;
   };
   std::map<TxId, PendingTx> pending_;
   // txid -> stored log records (from, seq) for truncation.

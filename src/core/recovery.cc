@@ -5,6 +5,7 @@
 #include "src/core/cluster.h"
 #include "src/core/flight_hooks.h"
 #include "src/core/node.h"
+#include "src/obs/fault_hook.h"
 #include "src/obs/trace.h"
 
 namespace farm {
@@ -180,6 +181,7 @@ void Node::BeginTransactionStateRecovery() {
   // so its strength is joined with the region list learned from the others.
   struct TxView {
     Vote strength = Vote::kUnknown;
+    bool saw_abort = false;
     std::vector<RegionId> regions;
     TxLogRecord contents;
     bool has_contents = false;
@@ -205,6 +207,41 @@ void Node::BeginTransactionStateRecovery() {
     }
   });
 
+  // Recovery state that lives outside the inbound rings: lock records
+  // replicated by a previous recovery round (step 5) and durable decision
+  // memory (the paper's COMMIT-RECOVERY / ABORT-RECOVERY records). Without
+  // these, a second failure during recovery can flip an outcome that was
+  // already exposed to the application.
+  for (const auto& [ptid, pend] : pending_) {
+    if (WasTruncated(ptid)) {
+      continue;
+    }
+    bool has_rec = !pend.lock_record.writes.empty();
+    if (!has_rec && !pend.commit_recovered && !pend.abort_recovered) {
+      continue;
+    }
+    TxView& v = by_tx[ptid];
+    if (has_rec) {
+      Vote s = StrengthOf(pend.lock_record.type);
+      if (Stronger(s, v.strength)) {
+        v.strength = s;
+      }
+      if (v.regions.empty()) {
+        v.regions = pend.lock_record.written_regions;
+      }
+      if (!v.has_contents) {
+        v.has_contents = true;
+        v.contents = pend.lock_record;
+      }
+    }
+    if (pend.commit_recovered && Stronger(Vote::kCommitPrimary, v.strength)) {
+      v.strength = Vote::kCommitPrimary;
+    }
+    if (pend.abort_recovered) {
+      v.saw_abort = true;
+    }
+  }
+
   // Pass 2: distribute per hosted region.
   struct LocalInfo {
     ReplicaTxState state;
@@ -226,6 +263,7 @@ void Node::BeginTransactionStateRecovery() {
       if (Stronger(v.strength, info.state.strength)) {
         info.state.strength = v.strength;
       }
+      info.state.saw_abort_recovery = info.state.saw_abort_recovery || v.saw_abort;
       if (!info.state.has_contents) {
         info.state.has_contents = true;
         info.state.contents = v.contents;
@@ -381,6 +419,7 @@ void Node::MaybeStartLockRecovery(RegionId region) {
     return;
   }
   it->second.lock_recovery_done = true;
+  fault::HitPoint(static_cast<uint32_t>(id()), "lock-recovery-begin", region);
   FinishLockRecovery(region);
 }
 
@@ -864,31 +903,45 @@ void Node::Decide(const TxId& tid, bool commit) {
       replicas.insert(m);
     }
   }
-  d.acks_pending = 0;
+  // Count all acks before delivering anything: the local delivery below acks
+  // synchronously, and an early zero would broadcast TRUNCATE-RECOVERY ahead
+  // of the decision itself.
+  d.acks_pending = static_cast<int>(replicas.size());
   BufWriter w;
   PutTxId(w, tid);
   std::vector<uint8_t> msg = w.Take();
   MsgType type = commit ? MsgType::kCommitRecovery : MsgType::kAbortRecovery;
   for (MachineId m : replicas) {
-    d.acks_pending++;
-    if (m == id()) {
-      BufReader rr(msg);
-      HandleRecoveryDecision(id(), type, rr);
-    } else {
+    if (m != id()) {
       messenger_->SendMessage(m, type, msg, -1);
     }
-  }
-
-  // If we are the (surviving) original coordinator, resolve the in-flight
-  // transaction's application-visible outcome.
-  auto iit = inflight_.find(tid);
-  if (iit != inflight_.end()) {
-    iit->second->ResolveByRecovery(commit);
   }
   if (commit) {
     stats_.tx_recovered_commit++;
   } else {
     stats_.tx_recovered_abort++;
+  }
+  if (replicas.empty()) {
+    // No participant holds state (read-only abort): expose immediately.
+    ResolveInflightByRecovery(tid, commit);
+    return;
+  }
+  if (replicas.count(id()) != 0) {
+    BufReader rr(msg);
+    HandleRecoveryDecision(id(), type, rr);
+  }
+}
+
+// The application-visible outcome is exposed only once every participant has
+// acknowledged the decision, i.e. once the decision memory is durable at all
+// surviving replicas of the written regions. Exposing at decide time is
+// unsound: if the recovery coordinator dies before any COMMIT-RECOVERY
+// lands, a later recovery round can re-derive the opposite outcome from the
+// surviving (weaker) evidence.
+void Node::ResolveInflightByRecovery(const TxId& tid, bool commit) {
+  auto iit = inflight_.find(tid);
+  if (iit != inflight_.end()) {
+    iit->second->ResolveByRecovery(commit);
   }
 }
 
@@ -899,6 +952,24 @@ void Node::HandleRecoveryDecision(MachineId from, MsgType type, BufReader& r) {
   FlightLogTx(flight_, sim().Now(), flight::EventKind::kRecoveryStep, tid,
               static_cast<uint8_t>(flight::RecoveryStep::kDecisionApply),
               commit ? 1 : 0);
+
+  // Durable memory of the decision (the paper's COMMIT-RECOVERY /
+  // ABORT-RECOVERY records). If this machine survives into a later
+  // configuration whose recovery round re-identifies the transaction, the
+  // memory keeps the outcome stable: a commit already exposed to the
+  // application cannot flip to abort, and an applied abort cannot be
+  // resurrected from a stale COMMIT-BACKUP record.
+  {
+    auto& mem = pending_[tid];
+    if (mem.coordinator == kInvalidMachine) {
+      mem.coordinator = tid.machine;
+    }
+    if (commit) {
+      mem.commit_recovered = true;
+    } else {
+      mem.abort_recovered = true;
+    }
+  }
 
   // Gather the lock-record contents we hold for this transaction.
   const TxLogRecord* contents = nullptr;
@@ -995,7 +1066,9 @@ void Node::OnRecoveryDecisionAck(MachineId from, const TxId& tid) {
     d.acks_pending--;
   }
   if (d.acks_pending == 0) {
+    // Decision durable at every participant: expose the outcome, then
     // TRUNCATE-RECOVERY to every replica.
+    ResolveInflightByRecovery(tid, d.committed);
     std::set<MachineId> replicas;
     for (RegionId r : d.regions) {
       const RegionPlacement* p = config_.Placement(r);
@@ -1006,8 +1079,11 @@ void Node::OnRecoveryDecisionAck(MachineId from, const TxId& tid) {
         replicas.insert(m);
       }
     }
+    // The truncation carries the decision: after an abort, stale
+    // COMMIT-BACKUP records must be discarded, not applied.
     BufWriter w;
     PutTxId(w, tid);
+    w.PutU8(d.committed ? 1 : 0);
     std::vector<uint8_t> msg = w.Take();
     for (MachineId m : replicas) {
       if (m == id()) {
@@ -1023,9 +1099,10 @@ void Node::OnRecoveryDecisionAck(MachineId from, const TxId& tid) {
 void Node::HandleTruncateRecovery(MachineId from, BufReader& r) {
   (void)from;
   TxId tid = GetTxId(r);
+  bool commit = r.GetU8() != 0;
   FlightLogTx(flight_, sim().Now(), flight::EventKind::kRecoveryStep, tid,
               static_cast<uint8_t>(flight::RecoveryStep::kTruncateRecovery));
-  ProcessTruncation(tid.machine, tid);
+  ProcessTruncation(tid.machine, tid, /*apply_backup_writes=*/commit);
   for (auto& [rid, rr] : region_recovery_) {
     (void)rid;
     rr.txs.erase(tid);

@@ -2,7 +2,14 @@
 
 #include <cstring>
 
+#include "src/common/hash.h"
+#include "src/obs/fault_hook.h"
+
 namespace farm {
+
+uint32_t FrameCheck(const uint8_t* payload, uint32_t len) {
+  return static_cast<uint32_t>(HashCombine(Fnv1a(payload, len), len)) | 1u;
+}
 
 RingReceiver::RingReceiver(NvramStore* store, uint32_t capacity)
     : store_(store), cap_(capacity) {
@@ -28,8 +35,8 @@ int RingReceiver::Drain(
   for (;;) {
     uint64_t off = parse_ % cap_;
     uint32_t contiguous = cap_ - static_cast<uint32_t>(off);
-    if (contiguous < 4) {
-      // Degenerate tail; senders never leave <4 bytes (frames are 8-aligned).
+    if (contiguous < kFrameHeaderBytes) {
+      // Degenerate tail; senders never leave <8 bytes (frames are 8-aligned).
       parse_ += contiguous;
       continue;
     }
@@ -43,10 +50,22 @@ int RingReceiver::Drain(
       AdvanceHead();
       continue;
     }
-    uint32_t framed = (4 + len + 7) & ~7u;
-    FARM_CHECK(framed <= contiguous) << "corrupt frame: record straddles ring end";
+    uint32_t framed = FramedLen(len);
+    if (len > cap_ || framed > contiguous) {
+      // Implausible length: a torn header. The single writer appends frames
+      // in order, so this can only be the tail of the log -- stop here.
+      NoteTorn();
+      break;
+    }
+    const uint8_t* f = At(parse_, framed);
+    uint32_t check;
+    std::memcpy(&check, f + 4, 4);
+    if (check != FrameCheck(f + kFrameHeaderBytes, len)) {
+      NoteTorn();  // torn payload (or checksum word): stop at the tear
+      break;
+    }
     std::vector<uint8_t> payload(len);
-    std::memcpy(payload.data(), At(parse_, framed) + 4, len);
+    std::memcpy(payload.data(), f + kFrameHeaderBytes, len);
     uint64_t seq = next_seq_++;
     frames_.push_back(Frame{parse_, framed, false, false, seq});
     parse_ += framed;
@@ -80,6 +99,15 @@ void RingReceiver::AdvanceHead() {
   if (moved) {
     // Persist the head so power-failure recovery knows where to re-parse.
     std::memcpy(store_->Data(base_, 8), &head_, 8);
+  }
+}
+
+void RingReceiver::NoteTorn() {
+  // Count each tear once even though every Drain poll re-observes it
+  // (positions are absolute, so this also dedupes across RebuildFromNvram).
+  if (torn_at_ != parse_ + 1) {
+    torn_frames_++;
+    torn_at_ = parse_ + 1;
   }
 }
 
@@ -136,6 +164,7 @@ Future<NetResult> RingSender::Append(std::vector<uint8_t> payload, uint32_t rese
   uint32_t len = static_cast<uint32_t>(payload.size());
   FARM_CHECK(len <= reserved_len) << "record larger than its reservation";
   uint32_t framed = FramedLen(len);
+  uint32_t effect = fault::HitPoint(self_, "ringlog-append", peer_);
   ReleaseReservation(reserved_len);
   FARM_CHECK(tail_ - HeadView() + framed <= cap_) << "ring overflow despite reservation";
 
@@ -159,16 +188,30 @@ Future<NetResult> RingSender::Append(std::vector<uint8_t> payload, uint32_t rese
 
   std::vector<uint8_t> frame(framed, 0);
   std::memcpy(frame.data(), &len, 4);
-  std::memcpy(frame.data() + 4, payload.data(), payload.size());
+  uint32_t check = FrameCheck(payload.data(), len);
+  std::memcpy(frame.data() + 4, &check, 4);
+  std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(), payload.size());
   tail_ += framed;
 
+  // Torn write: only the first half of the frame reaches NVRAM (at least
+  // the length word, never the whole frame), so the receiver sees a header
+  // with a bad checksum -- exactly what a crash mid-DMA leaves behind.
+  uint32_t torn_keep = framed / 2;
+
   if (local_receiver_ != nullptr) {
-    // Local log write: plain memory store into our own NVRAM.
-    std::memcpy(self_store_->Data(data_base_ + off, framed), frame.data(), framed);
+    // Local log write: a plain store into our own NVRAM, but routed through
+    // RdmaWrite so an armed tear applies to it too.
+    if (effect & fault::kEffectTornWrite) {
+      self_store_->ArmTornWrite(torn_keep);
+    }
+    FARM_CHECK(self_store_->RdmaWrite(data_base_ + off, frame.data(), framed));
     poke_receiver_();
     Future<NetResult> done;
     done.Set(NetResult{OkStatus(), {}});
     return done;
+  }
+  if (effect & fault::kEffectTornWrite) {
+    frame.resize(torn_keep);
   }
   return fabric_->Write(self_, peer_, data_base_ + off, std::move(frame), thread,
                         poke_receiver_);

@@ -9,9 +9,15 @@
 // receiver lazily reports the freed head position back to a feedback word
 // in the sender's NVRAM so the sender can reuse space.
 //
-// Framing: 8-byte-aligned frames of [u32 payload_len][payload][pad]. A
-// length of 0 means "no record here yet"; kWrapMarker means "continue at
-// the ring start".
+// Framing: 8-byte-aligned frames of [u32 payload_len][u32 check][payload]
+// [pad]. A length of 0 means "no record here yet"; kWrapMarker means
+// "continue at the ring start". `check` is a checksum of the payload (and
+// length), making a torn append -- a crash or power cut after only a prefix
+// of the frame's bytes reached NVRAM -- detectable: the receiver treats a
+// frame with an implausible length or a mismatched checksum as the torn
+// tail of the log and stops parsing there (a single writer appends frames
+// in order, so a tear can only be the last write). Torn frames are counted
+// (torn_frames()) for the chaos explorer's coverage report.
 #ifndef SRC_CORE_RINGLOG_H_
 #define SRC_CORE_RINGLOG_H_
 
@@ -27,6 +33,19 @@
 namespace farm {
 
 constexpr uint32_t kWrapMarker = 0xFFFFFFFFu;
+
+// Frame header: [u32 payload_len][u32 check].
+constexpr uint32_t kFrameHeaderBytes = 8;
+
+// Payload checksum stored in the frame header. Folds the length in so a
+// tear that garbles the length word cannot pair a stale checksum with a
+// different-length payload; the |1 keeps valid checksums nonzero, so the
+// all-zero bytes of freed ring space never validate.
+uint32_t FrameCheck(const uint8_t* payload, uint32_t len);
+
+inline uint32_t FramedLen(uint32_t payload_len) {
+  return (kFrameHeaderBytes + payload_len + 7) & ~7u;
+}
 
 // Receiver half: owns the NVRAM ring, parses frames, tracks which records
 // may be freed, and advances the head over freeable prefixes.
@@ -49,6 +68,8 @@ class RingReceiver {
   uint64_t head() const { return head_; }
   uint64_t parse_pos() const { return parse_; }
   uint64_t bytes_freed_total() const { return bytes_freed_total_; }
+  // Torn frames observed at the parse position (each tear counts once).
+  uint64_t torn_frames() const { return torn_frames_; }
 
   // Power-failure recovery: forget volatile state and re-parse everything
   // still in the ring (head comes from the persisted NVRAM word).
@@ -66,6 +87,7 @@ class RingReceiver {
   uint8_t* At(uint64_t abs, uint32_t len);
   uint32_t PeekLen(uint64_t abs);
   void AdvanceHead();
+  void NoteTorn();
 
   NvramStore* store_;
   uint64_t base_;
@@ -74,6 +96,8 @@ class RingReceiver {
   uint64_t parse_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t bytes_freed_total_ = 0;
+  uint64_t torn_frames_ = 0;
+  uint64_t torn_at_ = 0;  // parse position of the counted tear, +1 (0 = none)
   std::deque<Frame> frames_;  // unfreed frames in ring order
 };
 
@@ -106,7 +130,6 @@ class RingSender {
   uint64_t reserved() const { return reserved_; }
 
  private:
-  static uint32_t FramedLen(uint32_t payload_len) { return (4 + payload_len + 7) & ~7u; }
   uint64_t HeadView() const;
 
   Fabric* fabric_;

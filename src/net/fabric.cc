@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/obs/fault_hook.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/trace.h"
 
@@ -452,6 +453,8 @@ Future<NetResult> Fabric::Call(MachineId src, MachineId dst, uint16_t service,
   stats_.rpc_bytes += request.size();
   TraceOp("rpc", src, thread, "rpc_bytes", stats_.rpc_bytes);
   FlightMsg(Ep(src).flight, sim_.Now(), flight::EventKind::kMsgSend, service, dst);
+  uint32_t effect = fault::HitPoint(static_cast<uint32_t>(src), "msg-send",
+                                    static_cast<uint64_t>(dst));
 
   RpcOp* op = AcquireRpc();
   op->src = src;
@@ -467,7 +470,13 @@ Future<NetResult> Fabric::Call(MachineId src, MachineId dst, uint16_t service,
 
   SimTime issue_done = thread != nullptr ? thread->AcquireCpu(cost_.cpu_rpc_issue) : sim_.Now();
   sim_.At(issue_done + timeout, [op]() { op->fabric->RpcTimeout(op); });
-  sim_.At(issue_done, [op]() { op->fabric->RpcSend(op); });
+  if (effect & fault::kEffectDropMessage) {
+    // Injected drop: the request never reaches the wire (same shape as the
+    // request-leg drop in RpcSend); the timeout completes the call.
+    sim_.At(issue_done, [op]() { op->fabric->DropRpcRef(op); });
+  } else {
+    sim_.At(issue_done, [op]() { op->fabric->RpcSend(op); });
+  }
   return op->done;
 }
 

@@ -55,6 +55,12 @@ bool NvramStore::RdmaWrite(uint64_t addr, const uint8_t* data, size_t len) {
   if (p == nullptr) {
     return false;
   }
+  if (torn_armed_) {
+    torn_armed_ = false;
+    torn_writes_++;
+    std::memcpy(p, data, torn_keep_ < len ? torn_keep_ : len);
+    return true;
+  }
   std::memcpy(p, data, len);
   return true;
 }

@@ -45,6 +45,19 @@ class NvramStore : public RdmaMemory {
   bool RdmaWrite(uint64_t addr, const uint8_t* data, size_t len) override;
   bool RdmaCas(uint64_t addr, uint64_t expected, uint64_t desired, uint64_t* observed) override;
 
+  // ---- torn-write injection (chaos) ----
+  // Arms a one-shot torn write: the NEXT RdmaWrite persists only its first
+  // min(keep_bytes, len) bytes and then disarms, modeling power loss or a
+  // crash cutting a DMA short. The write still reports success -- NVRAM has
+  // no idea it is missing the suffix; detecting the tear is the log
+  // format's job (per-frame checksums in src/core/ringlog).
+  void ArmTornWrite(uint32_t keep_bytes) {
+    torn_armed_ = true;
+    torn_keep_ = keep_bytes;
+  }
+  bool torn_armed() const { return torn_armed_; }
+  uint64_t torn_writes() const { return torn_writes_; }
+
  private:
   struct Segment {
     uint64_t base;
@@ -60,6 +73,10 @@ class NvramStore : public RdmaMemory {
   uint64_t next_addr_ = kBaseAddr;
   // Keyed by base address; segments are non-overlapping and sorted.
   std::map<uint64_t, std::unique_ptr<Segment>> segments_;
+
+  bool torn_armed_ = false;
+  uint32_t torn_keep_ = 0;
+  uint64_t torn_writes_ = 0;
 };
 
 }  // namespace farm

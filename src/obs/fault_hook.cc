@@ -1,0 +1,22 @@
+#include "src/obs/fault_hook.h"
+
+#include "src/common/logging.h"
+
+namespace farm {
+namespace fault {
+
+Hook* g_hook = nullptr;
+
+void InstallHook(Hook* h) {
+  FARM_CHECK(g_hook == nullptr) << "a fault hook is already installed";
+  FARM_CHECK(h != nullptr);
+  g_hook = h;
+}
+
+void RemoveHook(Hook* h) {
+  FARM_CHECK(g_hook == h) << "removing a fault hook that is not installed";
+  g_hook = nullptr;
+}
+
+}  // namespace fault
+}  // namespace farm

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/obs/fault_hook.h"
+
 namespace farm {
 namespace flight {
 
@@ -124,12 +126,88 @@ const char* RecoveryStepName(RecoveryStep s) {
   return (i >= 1 && i <= kNumRecoverySteps) ? kRecoveryStepNames[i - 1] : "?";
 }
 
+const char* PointName(EventKind k, uint8_t arg) {
+  // Interned qualified names for the kinds whose arg selects a sub-site.
+  static const char* const kPhaseBeginPoints[kNumPhases] = {
+      "phase-begin:execute",        "phase-begin:lock",
+      "phase-begin:validate",       "phase-begin:commit_backup",
+      "phase-begin:commit_primary", "phase-begin:truncate",
+  };
+  static const char* const kPhaseEndPoints[kNumPhases] = {
+      "phase-end:execute",        "phase-end:lock",
+      "phase-end:validate",       "phase-end:commit_backup",
+      "phase-end:commit_primary", "phase-end:truncate",
+  };
+  static const char* const kRecoveryPoints[kNumRecoverySteps] = {
+      "recovery:new-config",    "recovery:tx-state-start",
+      "recovery:lock-recovery", "recovery:decide-commit",
+      "recovery:decide-abort",  "recovery:decision-apply",
+      "recovery:truncate-recovery",
+  };
+  int a = static_cast<int>(arg);
+  switch (k) {
+    case EventKind::kPhaseBegin:
+      if (a >= 0 && a < kNumPhases) {
+        return kPhaseBeginPoints[a];
+      }
+      break;
+    case EventKind::kPhaseEnd:
+      if (a >= 0 && a < kNumPhases) {
+        return kPhaseEndPoints[a];
+      }
+      break;
+    case EventKind::kRecoveryStep:
+      if (a >= 1 && a <= kNumRecoverySteps) {
+        return kRecoveryPoints[a - 1];
+      }
+      break;
+    default:
+      break;
+  }
+  return EventKindName(k);
+}
+
+std::vector<const char*> AllPointNames() {
+  std::vector<const char*> out;
+  for (int k = 1; k <= kNumEventKinds; k++) {
+    EventKind kind = static_cast<EventKind>(k);
+    switch (kind) {
+      case EventKind::kPhaseBegin:
+      case EventKind::kPhaseEnd:
+        for (int p = 0; p < kNumPhases; p++) {
+          out.push_back(PointName(kind, static_cast<uint8_t>(p)));
+        }
+        break;
+      case EventKind::kRecoveryStep:
+        for (int s = 1; s <= kNumRecoverySteps; s++) {
+          out.push_back(PointName(kind, static_cast<uint8_t>(s)));
+        }
+        break;
+      default:
+        out.push_back(EventKindName(kind));
+        break;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const char* a, const char* b) { return std::strcmp(a, b) < 0; });
+  return out;
+}
+
 Recorder::Recorder(uint32_t machine, size_t capacity)
     : machine_(machine), ring_(capacity > 0 ? capacity : 1) {}
 
 void Recorder::Append(const Record& r) {
   ring_[appended_ % ring_.size()] = r;
   appended_++;
+  if (fault::HookActive()) {
+    // Every flight record is an injectable fault point. msg-send is the one
+    // exception: the fabric hits it natively (before committing the message
+    // to the wire) so the hook's drop effect can take hold.
+    EventKind k = static_cast<EventKind>(r.kind);
+    if (k != EventKind::kMsgSend) {
+      fault::HitPoint(machine_, PointName(k, r.arg), r.detail);
+    }
+  }
 }
 
 std::vector<DrainedRecord> Recorder::Drain() const {

@@ -105,6 +105,17 @@ const char* PhaseName(Phase p);
 const char* AbortReasonName(AbortReason r);
 const char* RecoveryStepName(RecoveryStep s);
 
+// Fault-point name for a record kind: the event-kind name, qualified with
+// the symbolic arg where the kind defines one ("phase-begin:lock",
+// "recovery:new-config"). Returns an interned static string, so hot paths
+// can pass it around without allocating. Every name doubles as an
+// injectable fault-point id (see src/obs/fault_hook.h).
+const char* PointName(EventKind k, uint8_t arg);
+
+// All point names a ring could ever emit, sorted; for tooling that wants to
+// enumerate the taxonomy without observing a run.
+std::vector<const char*> AllPointNames();
+
 // One protocol event. Exactly 32 bytes, trivially copyable, pointer-free
 // (enforced by the static_asserts below and the farmlint recorder-pod rule).
 // The transaction id is stored unpacked (config truncated to 32 bits --

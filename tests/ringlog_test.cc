@@ -189,6 +189,86 @@ TEST_F(RingTest, RebuildFromNvramReparsesUntruncated) {
   EXPECT_EQ(again[1][0], 3);
 }
 
+TEST(NvramTornWriteTest, ArmedTearKeepsOnlyPrefix) {
+  NvramStore store;
+  uint64_t addr = store.Allocate(16);
+  uint8_t before[8] = {0xAA, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA};
+  ASSERT_TRUE(store.RdmaWrite(addr, before, 8));
+
+  uint8_t next[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  store.ArmTornWrite(3);
+  EXPECT_TRUE(store.torn_armed());
+  // The torn write still reports success; NVRAM cannot know it is short.
+  ASSERT_TRUE(store.RdmaWrite(addr, next, 8));
+  EXPECT_FALSE(store.torn_armed());
+  EXPECT_EQ(store.torn_writes(), 1u);
+  const uint8_t* got = store.Data(addr, 8);
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[1], 2);
+  EXPECT_EQ(got[2], 3);
+  for (int i = 3; i < 8; i++) {
+    EXPECT_EQ(got[i], 0xAA) << "byte " << i << " past the tear changed";
+  }
+  // One-shot: the next write lands whole.
+  ASSERT_TRUE(store.RdmaWrite(addr, next, 8));
+  EXPECT_EQ(store.Data(addr, 8)[7], 8);
+  EXPECT_EQ(store.torn_writes(), 1u);
+}
+
+TEST_F(RingTest, TornAppendDetectedAndDrainStopsCleanly) {
+  RingReceiver rx(stores_[1].get(), 4096);
+  uint64_t fb = stores_[0]->Allocate(8);
+  RingSender tx(&fabric_, 0, 1, rx.data_base(), 4096, fb, stores_[0].get(), nullptr, []() {});
+
+  std::vector<uint8_t> good(16, 0x5A);
+  ASSERT_TRUE(tx.Reserve(16));
+  (void)tx.Append(good, 16, nullptr);
+  sim_.Run();
+  int surfaced = rx.Drain([&](uint64_t, std::vector<uint8_t> p) { EXPECT_EQ(p, good); });
+  EXPECT_EQ(surfaced, 1);
+  EXPECT_EQ(rx.torn_frames(), 0u);
+
+  // Tear the next append mid-frame: only the header reaches NVRAM, so the
+  // checksum cannot match the (absent) payload.
+  std::vector<uint8_t> torn(16, 0x77);
+  ASSERT_TRUE(tx.Reserve(16));
+  stores_[1]->ArmTornWrite(kFrameHeaderBytes);
+  (void)tx.Append(torn, 16, nullptr);
+  sim_.Run();
+
+  surfaced = rx.Drain([&](uint64_t, std::vector<uint8_t>) { FAIL() << "torn record surfaced"; });
+  EXPECT_EQ(surfaced, 0);
+  EXPECT_EQ(rx.torn_frames(), 1u);
+  // Re-polling the same tear does not recount it.
+  rx.Drain([&](uint64_t, std::vector<uint8_t>) {});
+  EXPECT_EQ(rx.torn_frames(), 1u);
+}
+
+TEST_F(RingTest, RebuildFromNvramStopsAtTear) {
+  RingReceiver rx(stores_[1].get(), 4096);
+  uint64_t fb = stores_[0]->Allocate(8);
+  RingSender tx(&fabric_, 0, 1, rx.data_base(), 4096, fb, stores_[0].get(), nullptr, []() {});
+
+  std::vector<uint8_t> first(16, 0x11);
+  ASSERT_TRUE(tx.Reserve(16));
+  (void)tx.Append(first, 16, nullptr);
+  sim_.Run();
+  std::vector<uint8_t> second(16, 0x22);
+  ASSERT_TRUE(tx.Reserve(16));
+  stores_[1]->ArmTornWrite(kFrameHeaderBytes + 4);  // header + part of payload
+  (void)tx.Append(second, 16, nullptr);
+  sim_.Run();
+
+  // Power failure before the receiver ever polled: recovery re-parses from
+  // the persisted head, surfaces the intact record, and stops at the tear.
+  rx.RebuildFromNvram();
+  std::vector<std::vector<uint8_t>> got;
+  rx.Drain([&](uint64_t, std::vector<uint8_t> p) { got.push_back(std::move(p)); });
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], first);
+  EXPECT_EQ(rx.torn_frames(), 1u);
+}
+
 TEST_F(RingTest, MessengerLogRoundTrip) {
   Messenger::Options opts;
   opts.txlog_capacity = 64 << 10;
