@@ -34,8 +34,8 @@ void Run() {
       << "tatp load failed: " << (db.has_value() ? db->status().ToString() : "timeout");
   db->value().RegisterServices(*cluster);
 
-  std::printf("%12s %14s %12s %12s %12s\n", "concurrency", "tx/s", "ops/us", "median_us",
-              "p99_us");
+  std::printf("%12s %14s %12s %12s %12s %12s\n", "concurrency", "tx/s", "ops/us", "median_us",
+              "p99_us", "msgs/tx");
   struct Point {
     int threads;
     int concurrency;
@@ -43,29 +43,47 @@ void Run() {
   // Load sweep as in the paper: first more threads, then more concurrency
   // per thread.
   const Point kPoints[] = {{1, 1}, {2, 1}, {2, 2}, {2, 4}, {2, 8}, {2, 16}};
+  uint64_t total_msgs = 0;
+  uint64_t total_committed = 0;
+  FabricStats measured_before = cluster->fabric().stats();
   for (const Point& p : kPoints) {
     DriverOptions dopts;
     dopts.threads_per_machine = p.threads;
     dopts.concurrency_per_thread = p.concurrency;
     dopts.warmup = 10 * kMillisecond;
     dopts.measure = 60 * kMillisecond;
+    FabricStats stats_before = cluster->fabric().stats();
+    uint64_t msgs_before = stats_before.WireMessages();
+    uint64_t committed_before = cluster->TotalStats().tx_committed;
     DriverResult r = RunClosedLoop(*cluster, db->value().MakeWorkload(), dopts);
+    uint64_t msgs = cluster->fabric().stats().WireMessages() - msgs_before;
+    uint64_t committed = cluster->TotalStats().tx_committed - committed_before;
+    total_msgs += msgs;
+    total_committed += committed;
+    double msgs_per_tx =
+        committed > 0 ? static_cast<double>(msgs) / static_cast<double>(committed) : 0.0;
     double p50_us = static_cast<double>(r.latency.Percentile(50)) / 1e3;
     double p99_us = static_cast<double>(r.latency.Percentile(99)) / 1e3;
-    std::printf("%7dx%-4d %14.0f %12.3f %12.1f %12.1f\n", p.threads, p.concurrency,
-                r.CommittedPerSecond(), r.OpsPerMicrosecond(), p50_us, p99_us);
+    std::printf("%7dx%-4d %14.0f %12.3f %12.1f %12.1f %12.1f\n", p.threads, p.concurrency,
+                r.CommittedPerSecond(), r.OpsPerMicrosecond(), p50_us, p99_us, msgs_per_tx);
     if (auto* j = bench::Json()) {
       j->AddPoint({{"threads", p.threads},
                    {"concurrency", p.concurrency},
                    {"tx_per_sec", r.CommittedPerSecond()},
                    {"p50_us", p50_us},
-                   {"p99_us", p99_us}});
+                   {"p99_us", p99_us},
+                   {"msgs_per_tx", msgs_per_tx},
+                   {"dp_msgs_per_tx",
+                    bench::DataPlaneMsgsPerTx(stats_before, cluster->fabric().stats(),
+                                              committed)}});
     }
   }
   if (auto* j = bench::Json()) {
     j->Set("machines", kMachines);
     j->Set("subscribers", topts.subscribers);
   }
+  bench::ReportMessageCounts(total_msgs, total_committed);
+  bench::ReportWireBreakdown(measured_before, cluster->fabric().stats(), total_committed);
   bench::ReportPhaseLatencies(*cluster);
   bench::ReportSimEvents(cluster->sim().events_processed());
   std::printf("\nShape check: throughput grows with offered load, median latency\n"

@@ -47,6 +47,9 @@ void Run() {
   };
   const Point kPoints[] = {{1, 1}, {1, 2}, {2, 1}, {2, 2}, {2, 4}};
   uint64_t last_new_orders = 0;
+  uint64_t total_msgs = 0;
+  uint64_t total_committed = 0;
+  FabricStats measured_before = cluster->fabric().stats();
   for (const Point& p : kPoints) {
     DriverOptions dopts;
     dopts.threads_per_machine = p.threads;
@@ -54,7 +57,13 @@ void Run() {
     dopts.warmup = 10 * kMillisecond;
     dopts.measure = 60 * kMillisecond;
     dopts.machines = db->value().ClientMachines(*cluster);
+    FabricStats stats_before = cluster->fabric().stats();
+    uint64_t msgs_before = stats_before.WireMessages();
+    uint64_t committed_before = cluster->TotalStats().tx_committed;
     DriverResult r = RunClosedLoop(*cluster, db->value().MakeWorkload(), dopts);
+    uint64_t committed = cluster->TotalStats().tx_committed - committed_before;
+    total_msgs += cluster->fabric().stats().WireMessages() - msgs_before;
+    total_committed += committed;
     uint64_t new_orders = db->value().stats()->new_order_committed - last_new_orders;
     last_new_orders = db->value().stats()->new_order_committed;
     double secs = static_cast<double>(r.measure_end - r.measure_start) / 1e9;
@@ -69,13 +78,18 @@ void Run() {
                    {"new_order_per_sec", static_cast<double>(new_orders) / secs},
                    {"tx_per_sec", r.CommittedPerSecond()},
                    {"p50_us", p50_us},
-                   {"p99_us", p99_us}});
+                   {"p99_us", p99_us},
+                   {"dp_msgs_per_tx",
+                    bench::DataPlaneMsgsPerTx(stats_before, cluster->fabric().stats(),
+                                              committed)}});
     }
   }
   if (auto* j = bench::Json()) {
     j->Set("machines", kMachines);
     j->Set("warehouses", topts.warehouses);
   }
+  bench::ReportMessageCounts(total_msgs, total_committed);
+  bench::ReportWireBreakdown(measured_before, cluster->fabric().stats(), total_committed);
   bench::ReportPhaseLatencies(*cluster);
   bench::ReportSimEvents(cluster->sim().events_processed());
   std::printf("\nShape check: latencies sit well above TATP's (hundreds of us vs single\n"

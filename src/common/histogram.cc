@@ -80,7 +80,12 @@ uint64_t Histogram::Percentile(double p) const {
   for (int i = 0; i < kBuckets; i++) {
     seen += buckets_[static_cast<size_t>(i)];
     if (seen >= target) {
-      return BucketMidpoint(i);
+      // Bucket midpoints can stray outside the observed range (a single
+      // sample of 4242 lands in a bucket whose midpoint is below it; max_
+      // lands in a bucket whose midpoint exceeds it), so clamp to the
+      // exact extrema we track. This also makes p0 == min() and
+      // p100 == max() identities rather than approximations.
+      return std::clamp(BucketMidpoint(i), min_, max_);
     }
   }
   return max_;

@@ -396,8 +396,8 @@ Task<Status> Transaction::Commit() {
     lock_all_ok_ = true;
     for (const auto& [m, writes] : p.primary_writes) {
       TxLogRecord rec = MakeRecord(LogRecordType::kLock, m, &writes, p.written_regions);
-      uint32_t reserved = static_cast<uint32_t>(rec.SerializedSize() +
-                                                (kMaxPiggyback - rec.truncate_ids.size()) * 22);
+      uint32_t reserved = static_cast<uint32_t>(
+          rec.SerializedSize() + PiggybackSlack(kMaxPiggyback, rec.truncate_ids.size()));
       (void)node_->messenger().AppendLog(m, rec, reserved, thread_);
     }
     // NSDI'14-protocol ablation: LOCK records also go to backups (and are
@@ -433,7 +433,23 @@ Task<Status> Transaction::Commit() {
       pm.CountAbort(flight::AbortReason::kLockConflict);
       FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kAbort, id_,
                   static_cast<uint8_t>(flight::AbortReason::kLockConflict));
+      // Adaptive backoff (no-op unless opts.adaptive_backoff): bump the
+      // conflict EWMA for every written region and hold the abort result
+      // back for a bounded, deterministic delay so the application-level
+      // retry de-synchronizes from the coordinators it just collided with.
+      for (RegionId r : p.written_regions) {
+        node_->NoteLockOutcome(thread_, r, /*conflict=*/true);
+      }
+      SimDuration backoff = node_->LockBackoffDelay(thread_, id_, p.written_regions);
+      if (backoff > 0) {
+        node_->mutable_stats().tx_backoff_waits++;
+        node_->mutable_stats().tx_backoff_ns += backoff;
+        co_await SleepFor(node_->sim(), backoff);
+      }
       co_return AbortedStatus("lock conflict");
+    }
+    for (RegionId r : p.written_regions) {
+      node_->NoteLockOutcome(thread_, r, /*conflict=*/false);
     }
     pm.RecordPhase(flight::Phase::kLock, node_->sim().Now() - lock_start);
     FlightLogTx(ring, node_->sim().Now(), flight::EventKind::kPhaseEnd, id_,
@@ -477,8 +493,8 @@ Task<Status> Transaction::Commit() {
     for (const auto& [m, writes] : p.backup_writes) {
       TxLogRecord rec = MakeRecord(LogRecordType::kCommitBackup, m, &writes,
                                    p.written_regions);
-      uint32_t reserved = static_cast<uint32_t>(rec.SerializedSize() +
-                                                (kMaxPiggyback - rec.truncate_ids.size()) * 22);
+      uint32_t reserved = static_cast<uint32_t>(
+          rec.SerializedSize() + PiggybackSlack(kMaxPiggyback, rec.truncate_ids.size()));
       wg.Add();
       auto alive = alive_;
       node_->messenger()
@@ -566,8 +582,8 @@ Task<Status> Transaction::Commit() {
       (void)writes;
       // COMMIT-PRIMARY carries only the transaction id (Table 1).
       TxLogRecord rec = MakeRecord(LogRecordType::kCommitPrimary, m, nullptr, {});
-      uint32_t reserved = static_cast<uint32_t>(rec.SerializedSize() +
-                                                (kMaxPiggyback - rec.truncate_ids.size()) * 22);
+      uint32_t reserved = static_cast<uint32_t>(
+          rec.SerializedSize() + PiggybackSlack(kMaxPiggyback, rec.truncate_ids.size()));
       auto alive = alive_;
       node_->messenger()
           .AppendLog(m, rec, reserved, thread_)
@@ -732,8 +748,8 @@ void Transaction::AbortParticipants(const Participants& p) {
   for (const auto& [m, writes] : p.primary_writes) {
     (void)writes;
     TxLogRecord rec = MakeRecord(LogRecordType::kAbort, m, nullptr, {});
-    uint32_t reserved = static_cast<uint32_t>(rec.SerializedSize() +
-                                              (kMaxPiggyback - rec.truncate_ids.size()) * 22);
+    uint32_t reserved = static_cast<uint32_t>(
+        rec.SerializedSize() + PiggybackSlack(kMaxPiggyback, rec.truncate_ids.size()));
     (void)node_->messenger().AppendLog(m, rec, reserved, thread_);
   }
   uint32_t small_len = SmallRecordReservation();

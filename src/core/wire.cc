@@ -1,5 +1,7 @@
 #include "src/core/wire.h"
 
+#include "src/common/logging.h"
+
 namespace farm {
 
 const char* VoteName(Vote v) {
@@ -94,11 +96,36 @@ TxLogRecord TxLogRecord::Parse(BufReader& r) {
 }
 
 size_t TxLogRecord::SerializedSize() const {
-  size_t n = 1 + 22 + 4 + written_regions.size() * 4 + 4 + 4 + truncate_ids.size() * 22;
+  size_t n = 1 + kTxIdWireBytes + 4 + written_regions.size() * 4 + 4 + 4 +
+             truncate_ids.size() * kTxIdWireBytes;
   for (const WireWrite& ww : writes) {
     n += 8 + 8 + 1 + 4 + ww.value.size();
   }
+#ifndef NDEBUG
+  // Log-space reservations depend on this formula tracking Serialize()
+  // exactly; a drift bug would silently over- or under-reserve.
+  FARM_CHECK(n == Serialize().size());
+#endif
   return n;
+}
+
+std::vector<uint8_t> EncodeBatchBody(const std::vector<std::vector<uint8_t>>& subs) {
+  BufWriter w;
+  w.PutU32(static_cast<uint32_t>(subs.size()));
+  for (const std::vector<uint8_t>& sub : subs) {
+    w.PutBytes(sub.data(), sub.size());
+  }
+  return w.Take();
+}
+
+std::vector<std::vector<uint8_t>> DecodeBatchBody(BufReader& r) {
+  uint32_t count = r.GetU32();
+  std::vector<std::vector<uint8_t>> subs;
+  subs.reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    subs.push_back(r.GetBytes());
+  }
+  return subs;
 }
 
 }  // namespace farm

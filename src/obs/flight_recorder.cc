@@ -17,7 +17,7 @@ const char* const kEventKindNames[kNumEventKinds] = {
     "phase-begin",    "phase-end",      "lock-acquire",  "lock-reject",
     "validate-fail",  "abort",          "commit-backup", "commit-primary",
     "abort-record",   "truncate",       "msg-send",      "msg-recv",
-    "recovery",       "reconfig",
+    "recovery",       "reconfig",       "batch-flush",
 };
 
 const char* const kPhaseNames[kNumPhases] = {

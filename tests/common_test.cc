@@ -246,6 +246,49 @@ TEST(HistogramTest, NearestRankCountOne) {
   EXPECT_EQ(h.Percentile(100), 7u);
 }
 
+TEST(HistogramTest, MergeEmptyIntoNonEmptyKeepsExtrema) {
+  Histogram h;
+  h.Record(100);
+  Histogram empty;
+  h.Merge(empty);
+  // Merging an empty histogram must not poison min/max (empty's min
+  // sentinel is UINT64_MAX, its max 0).
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.Percentile(50), 100u);
+}
+
+TEST(HistogramTest, MergeNonEmptyIntoEmpty) {
+  Histogram empty;
+  Histogram h;
+  h.Record(100);
+  h.Record(300);
+  empty.Merge(h);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.min(), 100u);
+  EXPECT_EQ(empty.max(), 300u);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 200.0);
+}
+
+TEST(HistogramTest, PercentileClampedToObservedRange) {
+  // A single large sample sits in a log bucket whose midpoint differs from
+  // the sample; percentiles must still return the exact observed extrema,
+  // never a value outside [min, max].
+  Histogram h;
+  h.Record(4242);
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.Percentile(p), 4242u) << "p" << p;
+  }
+  Histogram two;
+  two.Record(1000);
+  two.Record(1001);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_GE(two.Percentile(p), 1000u) << "p" << p;
+    EXPECT_LE(two.Percentile(p), 1001u) << "p" << p;
+  }
+}
+
 TEST(HistogramTest, NearestRankCountTwo) {
   Histogram h;
   h.Record(5);
